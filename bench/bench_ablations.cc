@@ -1,0 +1,159 @@
+// A1 — Ablations of the design choices DESIGN.md calls out.
+//
+//  a) HNSW neighbor-selection heuristic on/off: diversity pruning is what
+//     keeps clustered data navigable (Malkov & Yashunin Alg. 4).
+//  b) Vamana alpha: >1 keeps longer edges; recall at fixed ef rises, at
+//     the cost of degree/build time (DiskANN's robust-prune slack).
+//  c) KGraph initialization: EFANNA tree seeding vs random, at equal
+//     NN-Descent budget (graph quality after 1 iteration).
+//  d) PQ code width (nbits): 4-bit codes (Quick-ADC-style) vs 8-bit.
+//  e) LSH budget split: more tables vs more probes at equal bucket scans.
+//  f) Score selection (§2.6(1)): AUC slate on a workload whose semantic
+//     signal lives in a learned metric.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/rng.h"
+#include "core/score_selection.h"
+#include "index/hnsw.h"
+#include "index/knn_graph.h"
+#include "index/lsh.h"
+#include "index/vamana.h"
+#include "quant/pq.h"
+
+namespace vdb {
+namespace {
+
+double Recall(VectorIndex& index, const bench::Workload& w,
+              const SearchParams& p) {
+  std::vector<std::vector<Neighbor>> results(w.queries.rows());
+  for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+    (void)index.Search(w.queries.row(q), p, &results[q]);
+  }
+  return MeanRecall(results, w.truth, 10);
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() {
+  using namespace vdb;
+  bench::Header("A1", "ablations of called-out design choices "
+                      "(n=20000 d=64 unless noted)");
+  auto w = bench::MakeWorkload(20000, 64, 100, 10);
+  SearchParams p;
+  p.k = 10;
+  p.ef = 32;
+
+  bench::Row("-- (a) HNSW neighbor selection --");
+  for (bool heuristic : {false, true}) {
+    HnswOptions o;
+    o.use_select_heuristic = heuristic;
+    HnswIndex index(o);
+    double build_s = bench::Seconds([&] { (void)index.Build(w.data, {}); });
+    bench::Row("  heuristic=%-5s recall@10(ef=32)=%.3f build=%.1fs",
+               heuristic ? "on" : "off", Recall(index, w, p), build_s);
+  }
+
+  // Note: under distance concentration (tight high-dim clusters) large
+  // alpha stops pruning within-cluster near-duplicates, so adjacency
+  // fills with short edges and navigability collapses — visible past
+  // ~1.3 on this workload.
+  bench::Row("-- (b) Vamana alpha (ef=32) --");
+  for (float alpha : {1.0f, 1.2f, 1.4f, 1.5f}) {
+    VamanaOptions o;
+    o.alpha = alpha;
+    VamanaIndex index(o);
+    double build_s = bench::Seconds([&] { (void)index.Build(w.data, {}); });
+    std::size_t edges = 0;
+    for (const auto& adj : index.adjacency()) edges += adj.size();
+    bench::Row("  alpha=%.1f recall@10=%.3f mean-degree=%.1f build=%.1fs",
+               alpha, Recall(index, w, p),
+               double(edges) / double(w.data.rows()), build_s);
+  }
+
+  bench::Row("-- (c) KGraph init at 1 NN-Descent iteration (n=5000) --");
+  {
+    auto small = bench::MakeWorkload(5000, 32, 1, 10);
+    for (auto init : {KnnGraphInit::kRandom, KnnGraphInit::kKdForest}) {
+      KnnGraphOptions o;
+      o.graph_degree = 10;
+      o.nn_descent_iters = 1;
+      o.init = init;
+      KnnGraphIndex index(o);
+      double build_s =
+          bench::Seconds([&] { (void)index.Build(small.data, {}); });
+      bench::Row("  init=%-9s graph-recall=%.3f build=%.1fs",
+                 init == KnnGraphInit::kRandom ? "random" : "kd-forest",
+                 index.GraphRecallVsExact(), build_s);
+    }
+  }
+
+  bench::Row("-- (d) PQ code width (m=8) --");
+  for (std::size_t nbits : {4, 8}) {
+    PqOptions o;
+    o.m = 8;
+    o.nbits = nbits;
+    ProductQuantizer pq(o);
+    (void)pq.Train(w.data);
+    bench::Row("  nbits=%zu bytes/vec=%zu mse=%.4f", nbits, pq.code_size(),
+               pq.ReconstructionError(w.data));
+  }
+
+  bench::Row("-- (e) LSH: tables vs probes at ~equal bucket scans --");
+  {
+    LshOptions wide;
+    wide.num_tables = 16;
+    wide.hashes_per_table = 10;
+    wide.bucket_width = 3.0f;
+    LshIndex tables(wide);
+    (void)tables.Build(w.data, {});
+    SearchParams tp = p;
+    tp.lsh_probes = 0;
+
+    LshOptions narrow = wide;
+    narrow.num_tables = 4;
+    LshIndex probes(narrow);
+    (void)probes.Build(w.data, {});
+    SearchParams pp = p;
+    pp.lsh_probes = 3;  // 4 tables x 4 buckets = 16 bucket scans
+
+    bench::Row("  16 tables, 0 probes : recall=%.3f mem=%.1fMB",
+               Recall(tables, w, tp), tables.MemoryBytes() / 1048576.0);
+    bench::Row("  4 tables,  3 probes : recall=%.3f mem=%.1fMB",
+               Recall(probes, w, pp), probes.MemoryBytes() / 1048576.0);
+  }
+
+  bench::Row("-- (f) automatic score selection (nuisance-axis workload) --");
+  {
+    // Entities differ along half the axes; the other half is large-variance
+    // nuisance. Plain L2 is dominated by the nuisance; the learned
+    // Mahalanobis should win the AUC slate.
+    Rng rng(31);
+    const std::size_t n = 400, d = 16;
+    FloatMatrix data(n, d);
+    ScoreSelectionInput input;
+    input.data = &data;
+    for (std::size_t e = 0; e < n / 2; ++e) {
+      for (std::size_t j = 0; j < d; ++j) {
+        float semantic = (j < d / 2) ? static_cast<float>(e % 20) : 0.0f;
+        data.at(2 * e, j) =
+            semantic + ((j >= d / 2) ? 8.0f * rng.NextGaussian() : 0.05f * rng.NextGaussian());
+        data.at(2 * e + 1, j) =
+            semantic + ((j >= d / 2) ? 8.0f * rng.NextGaussian() : 0.05f * rng.NextGaussian());
+      }
+      input.same_pairs.push_back({std::uint32_t(2 * e), std::uint32_t(2 * e + 1)});
+      if (e > 0) {
+        input.diff_pairs.push_back({std::uint32_t(2 * e), std::uint32_t(2 * (e - 1))});
+      }
+    }
+    auto ranking = SelectScoreDefaultSlate(input);
+    if (ranking.ok()) {
+      for (const auto& candidate : *ranking) {
+        bench::Row("  %-14s auc=%.3f", candidate.name.c_str(), candidate.auc);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E13 — (c,k)-search and range queries (paper §2.1(2)).
+//
+// Claims under test: relaxing the approximation factor c lets the (c,k)
+// verification pass with cheaper search effort (the theory/practice bridge
+// of approximate search); range queries behave like similarity-threshold
+// scans whose result size tracks the radius.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "db/collection.h"
+#include "exec/incremental.h"
+#include "index/hnsw.h"
+
+int main() {
+  using namespace vdb;
+  bench::Header("E13", "(c,k)-search verification and range queries "
+                       "(n=20000 d=32, HNSW)");
+  auto w = bench::MakeWorkload(20000, 32, 30, 10);
+
+  CollectionOptions opts;
+  opts.dim = 32;
+  opts.index_factory = [] {
+    HnswOptions o;
+    o.ef_construction = 80;
+    return std::make_unique<HnswIndex>(o);
+  };
+  auto c = Collection::Create(opts);
+  for (std::size_t i = 0; i < w.data.rows(); ++i) {
+    (void)(*c)->Insert(i, w.data.row_view(i));
+  }
+  (void)(*c)->BuildIndex();
+
+  bench::Row("%-8s %12s %14s %12s", "c", "satisfied", "mean ratio",
+             "us/query");
+  for (double factor : {1.0, 1.05, 1.2, 1.5, 2.0}) {
+    int satisfied = 0;
+    double ratio_sum = 0;
+    double secs = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        auto result = (*c)->CkSearch(w.queries.row_view(q), factor, 10);
+        if (result.ok()) {
+          satisfied += result->satisfied;
+          ratio_sum += result->achieved_ratio;
+        }
+      }
+    });
+    bench::Row("%-8.2f %9d/%zu %14.4f %12.1f", factor, satisfied,
+               w.queries.rows(), ratio_sum / w.queries.rows(),
+               1e6 * secs / w.queries.rows());
+  }
+
+  // Range queries: result size and cost vs radius (radius calibrated from
+  // the ground-truth distance quantiles).
+  bench::Row("\n%-12s %14s %12s", "radius", "mean |result|", "us/query");
+  for (int at : {0, 4, 9}) {
+    double radius_sum = 0;
+    for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+      radius_sum += w.truth[q][at].dist;
+    }
+    float radius = static_cast<float>(radius_sum / w.queries.rows());
+    double size_sum = 0;
+    double secs = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        std::vector<Neighbor> out;
+        (void)(*c)->RangeSearch(w.queries.row_view(q), radius, &out);
+        size_sum += static_cast<double>(out.size());
+      }
+    });
+    bench::Row("%-12.4f %14.1f %12.1f", radius,
+               size_sum / w.queries.rows(), 1e6 * secs / w.queries.rows());
+  }
+
+  // Incremental search (§2.6(5)): paginate 5 x 10 results per query vs
+  // asking for 50 at once. The stream costs more (escalating re-queries)
+  // but each page returns promptly and already-shown results never move.
+  {
+    HnswIndex index;
+    (void)index.Build(w.data, {});
+    SearchParams one_shot;
+    one_shot.k = 50;
+    one_shot.ef = 128;
+    double oneshot_secs = bench::Seconds([&] {
+      std::vector<Neighbor> out;
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        (void)index.Search(w.queries.row(q), one_shot, &out);
+      }
+    });
+    double first_page_secs = 0;
+    double stream_secs = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        std::vector<float> query(w.queries.row(q),
+                                 w.queries.row(q) + w.data.cols());
+        IncrementalSearch stream(&index, query);
+        std::vector<Neighbor> page;
+        first_page_secs += bench::Seconds([&] { (void)stream.Next(10, &page); });
+        for (int p = 1; p < 5; ++p) (void)stream.Next(10, &page);
+      }
+    });
+    bench::Row("\nincremental search (5 pages of 10 vs one-shot 50):");
+    bench::Row("  one-shot k=50     : %8.1f us/query",
+               1e6 * oneshot_secs / w.queries.rows());
+    bench::Row("  stream, total     : %8.1f us/query",
+               1e6 * stream_secs / w.queries.rows());
+    bench::Row("  stream, first page: %8.1f us/query (time-to-first-result)",
+               1e6 * first_page_secs / w.queries.rows());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E12 — The curse of dimensionality (paper §2.1 "Score Selection": "the
+// curse of dimensionality limits the usefulness of certain distance-based
+// scores").
+//
+// Claims under test: on structure-free (uniform) data the relative
+// contrast (dmax-dmin)/dmin of L2 collapses as dimension grows, and
+// locality-based indexes (LSH, IVF at fixed probe budget) decay with it;
+// clustered data retains contrast — which is why real embedding workloads
+// remain indexable.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "index/ivf.h"
+#include "index/lsh.h"
+
+int main() {
+  using namespace vdb;
+  bench::Header("E12", "curse of dimensionality: relative contrast and "
+                       "index decay (n=10000, uniform vs clustered)");
+
+  bench::Row("%-6s %18s %18s %12s %12s", "dim", "contrast(uniform)",
+             "contrast(cluster)", "ivf recall", "lsh recall");
+  for (std::size_t dim : {2, 8, 32, 128, 512}) {
+    SyntheticOptions u;
+    u.n = 10000;
+    u.dim = dim;
+    u.seed = 11;
+    FloatMatrix uniform = UniformCube(u);
+    u.num_clusters = 32;
+    FloatMatrix clustered = GaussianClusters(u);
+    auto scorer = Scorer::Create(MetricSpec::L2(), dim).value();
+
+    SyntheticOptions uq = u;
+    uq.n = 20;
+    uq.seed = 99;
+    FloatMatrix uniform_queries = UniformCube(uq);
+    double contrast_u = 0, contrast_c = 0;
+    for (std::size_t q = 0; q < uniform_queries.rows(); ++q) {
+      contrast_u += RelativeContrast(uniform, uniform_queries.row(q), scorer);
+    }
+    FloatMatrix cluster_queries = PerturbedQueries(clustered, 20, 0.05f, 7);
+    for (std::size_t q = 0; q < cluster_queries.rows(); ++q) {
+      contrast_c +=
+          RelativeContrast(clustered, cluster_queries.row(q), scorer);
+    }
+    contrast_u /= 20;
+    contrast_c /= 20;
+
+    // Index decay at a FIXED probe budget on the uniform data.
+    auto truth = GroundTruth(uniform, uniform_queries, scorer, 10);
+    double ivf_recall, lsh_recall;
+    {
+      IvfOptions o;
+      o.nlist = 64;
+      IvfFlatIndex index(o);
+      (void)index.Build(uniform, {});
+      SearchParams p;
+      p.k = 10;
+      p.nprobe = 4;
+      std::vector<std::vector<Neighbor>> results(20);
+      for (std::size_t q = 0; q < 20; ++q) {
+        (void)index.Search(uniform_queries.row(q), p, &results[q]);
+      }
+      ivf_recall = MeanRecall(results, truth, 10);
+    }
+    {
+      LshOptions o;
+      o.num_tables = 8;
+      o.hashes_per_table = 8;
+      // Bucket width scaled with sqrt(dim) so the hash stays comparable.
+      o.bucket_width = 0.5f * std::sqrt(static_cast<float>(dim));
+      LshIndex index(o);
+      (void)index.Build(uniform, {});
+      SearchParams p;
+      p.k = 10;
+      p.lsh_probes = 4;
+      std::vector<std::vector<Neighbor>> results(20);
+      for (std::size_t q = 0; q < 20; ++q) {
+        (void)index.Search(uniform_queries.row(q), p, &results[q]);
+      }
+      lsh_recall = MeanRecall(results, truth, 10);
+    }
+    bench::Row("%-6zu %18.3f %18.3f %12.3f %12.3f", dim, contrast_u,
+               contrast_c, ivf_recall, lsh_recall);
+  }
+  return 0;
+}

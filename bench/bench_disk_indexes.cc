@@ -1,0 +1,91 @@
+// E11 — Disk-resident indexes (paper §2.2: DiskANN, SPANN).
+//
+// Claims under test: both answer queries with a handful of page reads
+// while keeping a small in-memory footprint; DiskANN trades reads for
+// recall along its beam/candidate-list knob; SPANN along its
+// centroid-pruning eps; SPANN's closure (overlapping) assignment buys
+// recall at a bounded replication factor.
+
+#include <string>
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "index/diskann.h"
+#include "index/spann.h"
+
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return "/tmp/vdb_bench_" + tag + "_" + std::to_string(::getpid());
+}
+
+}  // namespace
+
+int main() {
+  using namespace vdb;
+  bench::Header("E11", "disk-resident indexes: recall vs page reads "
+                       "(n=20000 d=64, 4KiB pages, no cache)");
+  auto w = bench::MakeWorkload(20000, 64, 100, 10);
+  const double nq = static_cast<double>(w.queries.rows());
+
+  {
+    DiskAnnOptions opts;
+    opts.pq.m = 8;
+    DiskAnnIndex index(TempPath("diskann"), opts);
+    double build_s = bench::Seconds([&] { (void)index.Build(w.data, {}); });
+    bench::Row("diskann: build=%.1fs disk=%.1fMB memory=%.1fMB "
+               "(raw data %.1fMB)",
+               build_s, index.DiskBytes() / 1048576.0,
+               index.MemoryBytes() / 1048576.0,
+               w.data.ByteSize() / 1048576.0);
+    bench::Row("%-18s %10s %12s %12s", "  knob", "recall@10", "reads/query",
+               "us/query");
+    for (int ef : {16, 32, 64, 128}) {
+      SearchParams p;
+      p.k = 10;
+      p.ef = ef;
+      p.beam_width = 4;
+      SearchStats stats;
+      std::vector<std::vector<Neighbor>> results(w.queries.rows());
+      double secs = bench::Seconds([&] {
+        for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+          (void)index.Search(w.queries.row(q), p, &results[q], &stats);
+        }
+      });
+      bench::Row("  L=%-15d %10.3f %12.1f %12.1f", ef,
+                 MeanRecall(results, w.truth, 10), stats.io_reads / nq,
+                 1e6 * secs / nq);
+    }
+  }
+
+  for (float closure : {0.0f, 0.2f}) {
+    SpannOptions opts;
+    opts.nlist = 256;
+    opts.closure_eps = closure;
+    SpannIndex index(TempPath("spann" + std::to_string(closure)), opts);
+    double build_s = bench::Seconds([&] { (void)index.Build(w.data, {}); });
+    bench::Row("\nspann(closure=%.1f): build=%.1fs disk=%.1fMB "
+               "memory=%.1fMB replication=%.2fx",
+               closure, build_s, index.DiskBytes() / 1048576.0,
+               index.MemoryBytes() / 1048576.0, index.ReplicationFactor());
+    bench::Row("%-18s %10s %12s %12s", "  knob", "recall@10", "reads/query",
+               "us/query");
+    for (float eps : {0.0f, 0.2f, 0.4f}) {
+      SearchParams p;
+      p.k = 10;
+      p.nprobe = 16;
+      p.spann_eps = eps;
+      SearchStats stats;
+      std::vector<std::vector<Neighbor>> results(w.queries.rows());
+      double secs = bench::Seconds([&] {
+        for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+          (void)index.Search(w.queries.row(q), p, &results[q], &stats);
+        }
+      });
+      bench::Row("  eps=%-13.1f %10.3f %12.1f %12.1f", eps,
+                 MeanRecall(results, w.truth, 10), stats.io_reads / nq,
+                 1e6 * secs / nq);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,205 @@
+// E2 — Quantization: storage vs accuracy (paper §2.2(3)).
+//
+// Claims under test: quantization cuts bytes/vector by 4-32x; finer
+// sub-quantization (larger m) lowers error; OPQ <= PQ error on rotated /
+// anisotropic data; re-ranking with full vectors recovers most recall lost
+// in the compressed domain.
+
+#include <memory>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/linalg.h"
+#include "core/rng.h"
+#include "core/topk.h"
+#include "index/ivf_pq.h"
+#include "index/ivf_sq.h"
+#include "quant/anisotropic.h"
+#include "quant/opq.h"
+#include "quant/pq.h"
+#include "quant/sq.h"
+
+namespace vdb {
+namespace {
+
+void QuantizerTable(const FloatMatrix& data) {
+  bench::Row("%-8s %12s %18s", "codec", "bytes/vec", "mse(reconstruction)");
+  {
+    ScalarQuantizer sq;
+    (void)sq.Train(data);
+    bench::Row("%-8s %12zu %18.5f", "sq8", sq.code_size(),
+               sq.ReconstructionError(data));
+  }
+  for (std::size_t m : {4, 8, 16}) {
+    PqOptions o;
+    o.m = m;
+    ProductQuantizer pq(o);
+    (void)pq.Train(data);
+    bench::Row("%-8s %12zu %18.5f", pq.Name().c_str(), pq.code_size(),
+               pq.ReconstructionError(data));
+  }
+  {
+    OpqOptions o;
+    o.pq.m = 8;
+    o.opq_iters = 8;
+    OptimizedProductQuantizer opq(o);
+    (void)opq.Train(data);
+    bench::Row("%-8s %12zu %18.5f", opq.Name().c_str(), opq.code_size(),
+               opq.ReconstructionError(data));
+  }
+  bench::Row("%-8s %12zu %18s", "float32", data.cols() * 4, "0 (reference)");
+}
+
+void RecallTable(const bench::Workload& w) {
+  bench::Row("\n%-10s %-10s %12s %12s", "index", "rerank", "recall@10",
+             "ndis+ncode/q");
+  for (bool use_opq : {false, true}) {
+    IvfPqOptions o;
+    o.ivf.nlist = 64;
+    o.pq.m = 8;
+    o.use_opq = use_opq;
+    IvfPqIndex index(o);
+    (void)index.Build(w.data, {});
+    for (bool rerank : {false, true}) {
+      SearchParams p;
+      p.k = 10;
+      p.nprobe = 16;
+      p.rerank = rerank;
+      SearchStats stats;
+      std::vector<std::vector<Neighbor>> results(w.queries.rows());
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        (void)index.Search(w.queries.row(q), p, &results[q], &stats);
+      }
+      bench::Row("%-10s %-10s %12.3f %12.0f", index.Name().c_str(),
+                 rerank ? "yes" : "no", MeanRecall(results, w.truth, 10),
+                 double(stats.distance_comps + stats.code_comps) /
+                     double(w.queries.rows()));
+    }
+  }
+  {
+    IvfOptions o;
+    o.nlist = 64;
+    IvfSqIndex index(o);
+    (void)index.Build(w.data, {});
+    SearchParams p;
+    p.k = 10;
+    p.nprobe = 16;
+    SearchStats stats;
+    std::vector<std::vector<Neighbor>> results(w.queries.rows());
+    for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+      (void)index.Search(w.queries.row(q), p, &results[q], &stats);
+    }
+    bench::Row("%-10s %-10s %12.3f %12.0f", "ivf-sq8", "yes",
+               MeanRecall(results, w.truth, 10),
+               double(stats.distance_comps + stats.code_comps) /
+                   double(w.queries.rows()));
+  }
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() {
+  using namespace vdb;
+  bench::Header("E2", "quantization: bytes/vector vs reconstruction error "
+                      "and recall (n=20000 d=64)");
+  auto w = bench::MakeWorkload(20000, 64, 100, 10);
+
+  bench::Row("-- isotropic clustered data --");
+  QuantizerTable(w.data);
+
+  // Anisotropic, rotated data: the regime where OPQ's learned rotation
+  // pays off over plain PQ.
+  {
+    Rng rng(5);
+    const std::size_t n = 8000, d = 64;
+    FloatMatrix base(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        base.at(i, j) =
+            rng.NextGaussian() / static_cast<float>(1 + j);
+      }
+    }
+    Rng rot_rng(7);
+    FloatMatrix rot = linalg::RandomOrthonormal(d, &rot_rng);
+    FloatMatrix skewed(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+      linalg::MatVec(rot, base.row(i), skewed.row(i));
+    }
+    bench::Row("\n-- anisotropic rotated data (OPQ's regime) --");
+    PqOptions po;
+    po.m = 8;
+    ProductQuantizer pq(po);
+    (void)pq.Train(skewed);
+    OpqOptions oo;
+    oo.pq.m = 8;
+    oo.opq_iters = 10;
+    OptimizedProductQuantizer opq(oo);
+    (void)opq.Train(skewed);
+    bench::Row("%-8s mse=%.6f", "pq8", pq.ReconstructionError(skewed));
+    bench::Row("%-8s mse=%.6f", "opq8", opq.ReconstructionError(skewed));
+  }
+
+  RecallTable(w);
+
+  // Score-aware anisotropic quantization (ScaNN family) on a MIPS
+  // workload: queries aligned with their targets, items with varying
+  // norms. APQ trades isotropic reconstruction error for inner-product
+  // ranking fidelity.
+  {
+    SyntheticOptions so;
+    so.n = 5000;
+    so.dim = 32;
+    so.num_clusters = 16;
+    so.seed = 7;
+    FloatMatrix data = UnitSphere(so);
+    Rng rng(8);
+    for (std::size_t i = 0; i < so.n; ++i) {
+      float scale = 0.5f + 1.5f * static_cast<float>(rng.NextDouble());
+      for (std::size_t j = 0; j < so.dim; ++j) data.at(i, j) *= scale;
+    }
+    FloatMatrix queries = PerturbedQueries(data, 40, 0.1f, 11);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      double norm_sq = 0;
+      for (std::size_t j = 0; j < so.dim; ++j) {
+        norm_sq += double(queries.at(q, j)) * queries.at(q, j);
+      }
+      float inv = 1.0f / std::sqrt(static_cast<float>(norm_sq));
+      for (std::size_t j = 0; j < so.dim; ++j) queries.at(q, j) *= inv;
+    }
+    auto scorer = Scorer::Create(MetricSpec::InnerProduct(), so.dim).value();
+    auto truth = GroundTruth(data, queries, scorer, 10);
+    auto mips_recall = [&](const Quantizer& qz) {
+      FloatMatrix recon(data.rows(), so.dim);
+      std::vector<std::uint8_t> code(qz.code_size());
+      for (std::size_t i = 0; i < data.rows(); ++i) {
+        qz.Encode(data.row(i), code.data());
+        qz.Decode(code.data(), recon.row(i));
+      }
+      std::vector<std::vector<Neighbor>> approx(queries.rows());
+      for (std::size_t q = 0; q < queries.rows(); ++q) {
+        TopK top(10);
+        for (std::size_t i = 0; i < recon.rows(); ++i) {
+          top.Push(i, scorer.Distance(queries.row(q), recon.row(i)));
+        }
+        approx[q] = top.Take();
+      }
+      return MeanRecall(approx, truth, 10);
+    };
+    PqOptions po;
+    po.m = 8;
+    ProductQuantizer pq(po);
+    (void)pq.Train(data);
+    AnisotropicPqOptions ao;
+    ao.pq = po;
+    AnisotropicProductQuantizer apq(ao);
+    (void)apq.Train(data);
+    bench::Row("\n-- MIPS workload (aligned unit queries, varying norms) --");
+    bench::Row("%-8s mips-recall@10=%.3f  l2-mse=%.4f", "pq8",
+               mips_recall(pq), pq.ReconstructionError(data));
+    bench::Row("%-8s mips-recall@10=%.3f  l2-mse=%.4f  (eta=%.0f)", "apq8",
+               mips_recall(apq), apq.ReconstructionError(data), 2.0);
+  }
+  return 0;
+}

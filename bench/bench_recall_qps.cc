@@ -1,0 +1,191 @@
+// E1 — Recall/QPS spectrum across index families (paper §2.2).
+//
+// Claim under test: graph indexes dominate at high recall; IVF sits in the
+// middle; LSH/tree methods trail at the same recall; brute force anchors
+// the exact end. Each index sweeps its own accuracy knob and reports
+// (recall@10, QPS, distance computations) — the ANN-Benchmarks series.
+
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "index/flat.h"
+#include "index/hnsw.h"
+#include "index/ivf.h"
+#include "index/ivf_pq.h"
+#include "index/kd_tree.h"
+#include "index/knn_graph.h"
+#include "index/lsh.h"
+#include "index/fanng.h"
+#include "index/nsw.h"
+#include "index/pca_tree.h"
+#include "index/rp_forest.h"
+#include "index/spectral_hash.h"
+#include "index/vamana.h"
+
+namespace vdb {
+namespace {
+
+struct Sweep {
+  std::string name;
+  std::function<std::unique_ptr<VectorIndex>()> make;
+  /// (knob label, params) pairs, cheap to expensive.
+  std::vector<std::pair<std::string, SearchParams>> points;
+};
+
+SearchParams P(int ef, int nprobe, int leaves, int probes) {
+  SearchParams p;
+  p.k = 10;
+  p.ef = ef;
+  p.nprobe = nprobe;
+  p.max_leaf_visits = leaves;
+  p.lsh_probes = probes;
+  return p;
+}
+
+void RunSweep(const bench::Workload& w, const Sweep& sweep) {
+  auto index = sweep.make();
+  double build_s = bench::Seconds(
+      [&] { (void)index->Build(w.data, {}); });
+  for (const auto& [label, params] : sweep.points) {
+    std::vector<std::vector<Neighbor>> results(w.queries.rows());
+    SearchStats stats;
+    double secs = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        (void)index->Search(w.queries.row(q), params, &results[q], &stats);
+      }
+    });
+    double recall = MeanRecall(results, w.truth, 10);
+    double qps = static_cast<double>(w.queries.rows()) / secs;
+    bench::Row("%-10s %-12s recall@10=%.3f  qps=%8.0f  ndis/q=%7.0f  "
+               "build=%.2fs",
+               sweep.name.c_str(), label.c_str(), recall, qps,
+               double(stats.distance_comps + stats.code_comps) /
+                   double(w.queries.rows()),
+               build_s);
+  }
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main() {
+  using namespace vdb;
+  bench::Header("E1", "recall vs QPS across index families "
+                      "(n=20000 d=64 k=10, Gaussian clusters)");
+  auto w = bench::MakeWorkload(20000, 64, 100, 10);
+
+  std::vector<Sweep> sweeps;
+  sweeps.push_back({"flat",
+                    [] { return std::make_unique<FlatIndex>(); },
+                    {{"exact", P(-1, -1, -1, -1)}}});
+  {
+    LshOptions o;
+    o.num_tables = 10;
+    o.hashes_per_table = 10;
+    o.bucket_width = 3.0f;
+    sweeps.push_back({"lsh-e2",
+                      [o] { return std::make_unique<LshIndex>(o); },
+                      {{"probes=0", P(-1, -1, -1, 0)},
+                       {"probes=4", P(-1, -1, -1, 4)},
+                       {"probes=16", P(-1, -1, -1, 16)}}});
+  }
+  {
+    IvfOptions o;
+    o.nlist = 128;
+    sweeps.push_back({"ivf-flat",
+                      [o] { return std::make_unique<IvfFlatIndex>(o); },
+                      {{"nprobe=1", P(-1, 1, -1, -1)},
+                       {"nprobe=4", P(-1, 4, -1, -1)},
+                       {"nprobe=16", P(-1, 16, -1, -1)},
+                       {"nprobe=64", P(-1, 64, -1, -1)}}});
+  }
+  {
+    IvfPqOptions o;
+    o.ivf.nlist = 128;
+    o.pq.m = 8;
+    sweeps.push_back({"ivf-pq",
+                      [o] { return std::make_unique<IvfPqIndex>(o); },
+                      {{"nprobe=4", P(-1, 4, -1, -1)},
+                       {"nprobe=16", P(-1, 16, -1, -1)},
+                       {"nprobe=64", P(-1, 64, -1, -1)}}});
+  }
+  {
+    KdTreeOptions o;
+    sweeps.push_back({"kd-tree",
+                      [o] { return std::make_unique<KdTreeIndex>(o); },
+                      {{"leaves=8", P(-1, -1, 8, -1)},
+                       {"leaves=64", P(-1, -1, 64, -1)},
+                       {"leaves=256", P(-1, -1, 256, -1)}}});
+  }
+  {
+    RpForestOptions o;
+    o.num_trees = 12;
+    sweeps.push_back({"rp-forest",
+                      [o] { return std::make_unique<RpForestIndex>(o); },
+                      {{"leaves=16", P(-1, -1, 16, -1)},
+                       {"leaves=64", P(-1, -1, 64, -1)},
+                       {"leaves=256", P(-1, -1, 256, -1)}}});
+  }
+  {
+    PcaTreeOptions o;
+    sweeps.push_back({"pca-tree",
+                      [o] { return std::make_unique<PcaTreeIndex>(o); },
+                      {{"leaves=8", P(-1, -1, 8, -1)},
+                       {"leaves=64", P(-1, -1, 64, -1)},
+                       {"leaves=256", P(-1, -1, 256, -1)}}});
+  }
+  {
+    KnnGraphOptions o;
+    o.graph_degree = 16;
+    sweeps.push_back({"kgraph",
+                      [o] { return std::make_unique<KnnGraphIndex>(o); },
+                      {{"ef=16", P(16, -1, -1, -1)},
+                       {"ef=64", P(64, -1, -1, -1)},
+                       {"ef=128", P(128, -1, -1, -1)}}});
+  }
+  {
+    NswOptions o;
+    sweeps.push_back({"nsw",
+                      [o] { return std::make_unique<NswIndex>(o); },
+                      {{"ef=16", P(16, -1, -1, -1)},
+                       {"ef=64", P(64, -1, -1, -1)},
+                       {"ef=128", P(128, -1, -1, -1)}}});
+  }
+  {
+    HnswOptions o;
+    sweeps.push_back({"hnsw",
+                      [o] { return std::make_unique<HnswIndex>(o); },
+                      {{"ef=16", P(16, -1, -1, -1)},
+                       {"ef=32", P(32, -1, -1, -1)},
+                       {"ef=64", P(64, -1, -1, -1)},
+                       {"ef=128", P(128, -1, -1, -1)}}});
+  }
+  {
+    VamanaOptions o;
+    sweeps.push_back({"vamana",
+                      [o] { return std::make_unique<VamanaIndex>(o); },
+                      {{"ef=16", P(16, -1, -1, -1)},
+                       {"ef=64", P(64, -1, -1, -1)},
+                       {"ef=128", P(128, -1, -1, -1)}}});
+  }
+  {
+    FanngOptions o;
+    sweeps.push_back({"fanng",
+                      [o] { return std::make_unique<FanngIndex>(o); },
+                      {{"ef=16", P(16, -1, -1, -1)},
+                       {"ef=64", P(64, -1, -1, -1)},
+                       {"ef=128", P(128, -1, -1, -1)}}});
+  }
+  {
+    SpectralHashOptions o;
+    o.bits = 48;
+    sweeps.push_back(
+        {"spectral",
+         [o] { return std::make_unique<SpectralHashIndex>(o); },
+         {{"bits=48", P(-1, -1, -1, -1)}}});
+  }
+
+  for (const auto& sweep : sweeps) RunSweep(w, sweep);
+  return 0;
+}

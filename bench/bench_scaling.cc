@@ -1,0 +1,87 @@
+// E15 — Scaling with collection size (paper §1: applications "require
+// millisecond query latencies, all while needing to scale to increasing
+// workloads without sacrificing performance or response quality").
+//
+// Claims under test: brute-force latency grows linearly with n; HNSW
+// query latency grows roughly logarithmically at fixed recall; IVF
+// nprobe-for-recall grows sublinearly; build times grow superlinearly
+// for graphs. Also persistence cost at scale (Save/Load round trip).
+
+#include <memory>
+#include <string>
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "index/flat.h"
+#include "index/hnsw.h"
+#include "index/ivf.h"
+
+int main() {
+  using namespace vdb;
+  bench::Header("E15", "scaling with n (d=32, k=10, recall held >= 0.95)");
+
+  bench::Row("%-8s %12s %12s %12s %12s %12s", "n", "flat us/q",
+             "hnsw us/q", "hnsw recall", "ivf us/q", "ivf recall");
+  for (std::size_t n : {5000, 20000, 80000}) {
+    auto w = bench::MakeWorkload(n, 32, 50, 10, 7, 64);
+    double nq = static_cast<double>(w.queries.rows());
+
+    FlatIndex flat;
+    (void)flat.Build(w.data, {});
+    SearchParams fp;
+    fp.k = 10;
+    std::vector<Neighbor> out;
+    double flat_s = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        (void)flat.Search(w.queries.row(q), fp, &out);
+      }
+    });
+
+    HnswIndex hnsw;
+    double hnsw_build = bench::Seconds([&] { (void)hnsw.Build(w.data, {}); });
+    SearchParams hp;
+    hp.k = 10;
+    hp.ef = 48;
+    std::vector<std::vector<Neighbor>> hres(w.queries.rows());
+    double hnsw_s = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        (void)hnsw.Search(w.queries.row(q), hp, &hres[q]);
+      }
+    });
+
+    IvfOptions io;
+    io.nlist = std::max<std::size_t>(32, n / 256);
+    IvfFlatIndex ivf(io);
+    double ivf_build = bench::Seconds([&] { (void)ivf.Build(w.data, {}); });
+    SearchParams ip;
+    ip.k = 10;
+    ip.nprobe = 8;
+    std::vector<std::vector<Neighbor>> ires(w.queries.rows());
+    double ivf_s = bench::Seconds([&] {
+      for (std::size_t q = 0; q < w.queries.rows(); ++q) {
+        (void)ivf.Search(w.queries.row(q), ip, &ires[q]);
+      }
+    });
+
+    bench::Row("%-8zu %12.1f %12.1f %12.3f %12.1f %12.3f", n,
+               1e6 * flat_s / nq, 1e6 * hnsw_s / nq,
+               MeanRecall(hres, w.truth, 10), 1e6 * ivf_s / nq,
+               MeanRecall(ires, w.truth, 10));
+    bench::Row("  builds: hnsw=%.1fs ivf=%.1fs", hnsw_build, ivf_build);
+
+    // Persistence at scale.
+    if (n == 80000) {
+      std::string path =
+          "/tmp/vdb_scale_hnsw_" + std::to_string(::getpid());
+      double save_s = bench::Seconds([&] { (void)hnsw.Save(path); });
+      double load_s = bench::Seconds([&] {
+        auto loaded = HnswIndex::Load(path);
+        (void)loaded;
+      });
+      bench::Row("  persistence at n=80000: save=%.2fs load=%.2fs "
+                 "(vs %.1fs rebuild)",
+                 save_s, load_s, hnsw_build);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#ifndef VDB_BENCH_BENCH_UTIL_H_
+#define VDB_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the experiment harness (one binary per experiment in
+// DESIGN.md's E1..E14 index). Each binary prints self-describing aligned
+// tables; EXPERIMENTS.md records the measured series next to the paper's
+// qualitative claims.
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/synthetic.h"
+
+namespace vdb::bench {
+
+using Clock = std::chrono::steady_clock;
+
+/// Wall-clock seconds of `fn()`.
+template <typename Fn>
+double Seconds(Fn&& fn) {
+  auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// The default E-series workload: clustered "embedding-like" vectors with
+/// in-distribution queries and exact ground truth (see DESIGN.md §3 for
+/// why this substitutes for SIFT-style real datasets).
+struct Workload {
+  FloatMatrix data;
+  FloatMatrix queries;
+  std::vector<std::vector<Neighbor>> truth;
+  Scorer scorer;
+};
+
+inline Workload MakeWorkload(std::size_t n, std::size_t dim,
+                             std::size_t num_queries, std::size_t k,
+                             std::uint64_t seed = 42,
+                             std::size_t clusters = 64) {
+  Workload w;
+  SyntheticOptions opts;
+  opts.n = n;
+  opts.dim = dim;
+  opts.seed = seed;
+  opts.num_clusters = clusters;
+  w.data = GaussianClusters(opts);
+  w.queries = PerturbedQueries(w.data, num_queries, 0.03f, seed + 1);
+  w.scorer = Scorer::Create(MetricSpec::L2(), dim).value();
+  w.truth = GroundTruth(w.data, w.queries, w.scorer, k);
+  return w;
+}
+
+}  // namespace vdb::bench
+
+#endif  // VDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,134 @@
+// Quickstart: the 60-second tour of the vdbms public API.
+//
+// Creates a collection with an HNSW index, inserts vectors with
+// attributes, and runs the basic query types: k-NN, range, (c,k)-search,
+// and a hybrid (predicated) query chosen by the cost-based optimizer.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/synthetic.h"
+#include "db/collection.h"
+#include "db/database.h"
+#include "db/query_language.h"
+#include "index/hnsw.h"
+
+int main() {
+  using namespace vdb;
+
+  // 1. Define the collection: 32-d vectors under L2, two attributes, an
+  //    HNSW search index, cost-based hybrid planning.
+  CollectionOptions options;
+  options.dim = 32;
+  options.metric = MetricSpec::L2();
+  options.attributes = {{"category", AttrType::kInt64},
+                        {"price", AttrType::kDouble}};
+  options.index_factory = [] {
+    HnswOptions hnsw;
+    hnsw.m = 16;
+    hnsw.ef_construction = 100;
+    return std::make_unique<HnswIndex>(hnsw);
+  };
+  options.plan_mode = PlanMode::kCostBased;
+
+  auto created = Collection::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  Collection& products = **created;
+
+  // 2. Insert 10k synthetic "product embeddings" with attributes.
+  SyntheticOptions synth;
+  synth.n = 10000;
+  synth.dim = 32;
+  synth.num_clusters = 24;
+  FloatMatrix data = GaussianClusters(synth);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    Status status = products.Insert(
+        i, data.row_view(i),
+        {{"category", std::int64_t(i % 10)}, {"price", double(i % 500)}});
+    if (!status.ok()) {
+      std::fprintf(stderr, "insert: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  products.BuildIndex();
+  std::printf("collection ready: %zu vectors, index built\n",
+              products.Size());
+
+  FloatMatrix queries = PerturbedQueries(data, 1, 0.02f, 7);
+  VectorView query = queries.row_view(0);
+
+  // 3. Plain k-NN.
+  std::vector<Neighbor> results;
+  SearchStats stats;
+  products.Knn(query, 5, &results, &stats);
+  std::printf("\nk-NN top-5 (%llu distance computations):\n",
+              (unsigned long long)stats.distance_comps);
+  for (const auto& hit : results) {
+    std::printf("  id=%-6llu dist=%.4f\n", (unsigned long long)hit.id,
+                hit.dist);
+  }
+
+  // 4. Range query: everything within a radius.
+  std::vector<Neighbor> in_range;
+  products.RangeSearch(query, results[2].dist, &in_range);
+  std::printf("\nrange query (r=%.4f): %zu results\n", results[2].dist,
+              in_range.size());
+
+  // 5. (c,k)-search with a verified approximation factor.
+  auto ck = products.CkSearch(query, /*c=*/1.05, /*k=*/10);
+  if (ck.ok()) {
+    std::printf("(c,k)-search: %zu results, achieved ratio %.4f (%s)\n",
+                ck->neighbors.size(), ck->achieved_ratio,
+                ck->satisfied ? "satisfied" : "NOT satisfied");
+  }
+
+  // 6. Hybrid query: nearest products in category 3 costing <= 100.
+  auto pred = Predicate::And(
+      Predicate::Cmp("category", CmpOp::kEq, std::int64_t{3}),
+      Predicate::Cmp("price", CmpOp::kLe, 100.0));
+  auto plan = products.ExplainHybrid(pred);
+  std::vector<Neighbor> hybrid;
+  ExecStats exec_stats;
+  products.Hybrid(query, pred, 5, &hybrid, &exec_stats);
+  std::printf(
+      "\nhybrid query %s\n  optimizer chose: %s (est. selectivity %.4f)\n",
+      pred.ToString().c_str(),
+      plan.ok() ? plan->ToString().c_str() : "<error>",
+      exec_stats.est_selectivity);
+  for (const auto& hit : hybrid) {
+    std::printf("  id=%-6llu dist=%.4f category=3\n",
+                (unsigned long long)hit.id, hit.dist);
+  }
+
+  // 7. The same hybrid query through the SQL-style interface.
+  {
+    Database db;
+    CollectionOptions small = options;
+    auto* items = db.CreateCollection("items", small).value();
+    for (std::size_t i = 0; i < 500; ++i) {
+      items->Insert(i, data.row_view(i),
+                    {{"category", std::int64_t(i % 10)},
+                     {"price", double(i % 500)}});
+    }
+    items->BuildIndex();
+    std::string vec = "[";
+    for (std::size_t j = 0; j < 32; ++j) {
+      if (j) vec += ", ";
+      vec += std::to_string(query[j]);
+    }
+    vec += "]";
+    auto sql_hits = ExecuteQuery(
+        &db, "SELECT knn(3) FROM items WHERE category = 3 AND price <= 100.0 "
+             "ORDER BY distance(" + vec + ")");
+    std::printf("\nSQL interface returned %zu hits: %s\n",
+                sql_hits.ok() ? sql_hits->size() : 0,
+                sql_hits.ok() ? "ok" : sql_hits.status().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// vdbsh — a minimal interactive shell for the SQL-style query interface
+// (§2.1 "Query Interfaces"). Preloads a demo catalog, then executes one
+// query per input line:
+//
+//   SELECT knn(k) FROM products [WHERE <pred>] ORDER BY distance([...])
+//
+// With no stdin input (e.g. under ctest) it runs a canned demo script.
+//
+//   echo "SELECT knn(3) FROM products WHERE price < 50.0 ORDER BY
+//         distance([...])" | ./build/examples/vdbsh
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/synthetic.h"
+#include "db/database.h"
+#include "db/query_language.h"
+#include "index/hnsw.h"
+
+namespace {
+
+std::string VectorLiteral(const vdb::FloatMatrix& data, std::size_t row) {
+  std::string out = "[";
+  for (std::size_t j = 0; j < data.cols(); ++j) {
+    if (j) out += ", ";
+    out += std::to_string(data.at(row, j));
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main() {
+  using namespace vdb;
+
+  Database db;
+  CollectionOptions options;
+  options.dim = 8;
+  options.attributes = {{"category", AttrType::kInt64},
+                        {"price", AttrType::kDouble},
+                        {"brand", AttrType::kString}};
+  options.index_factory = [] {
+    HnswOptions hnsw;
+    hnsw.m = 8;
+    return std::make_unique<HnswIndex>(hnsw);
+  };
+  auto created = db.CreateCollection("products", options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  Collection& products = **created;
+  FloatMatrix data = GaussianClusters({1000, 8, 21, 16, 0.15f});
+  const char* brands[] = {"acme", "velo", "forge", "zen"};
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    products.Insert(i, data.row_view(i),
+                    {{"category", std::int64_t(i % 5)},
+                     {"price", double(i % 200)},
+                     {"brand", std::string(brands[i % 4])}});
+  }
+  products.BuildIndex();
+  std::printf("vdbsh — %zu products loaded. One query per line; Ctrl-D "
+              "exits.\n",
+              products.Size());
+  std::printf("dialect: SELECT knn(k) FROM products [WHERE <pred>] "
+              "ORDER BY distance([8 floats])\n\n");
+
+  auto run = [&](const std::string& line) {
+    ExecStats stats;
+    auto results = ExecuteQuery(&db, line, &stats);
+    if (!results.ok()) {
+      std::printf("error: %s\n", results.status().ToString().c_str());
+      return;
+    }
+    auto plan = (*db.GetCollection("products"))->ExplainHybrid(
+        Predicate::True());
+    (void)plan;
+    std::printf("%zu rows", results->size());
+    if (stats.est_selectivity >= 0) {
+      std::printf("  (est. selectivity %.3f)", stats.est_selectivity);
+    }
+    std::printf("\n");
+    for (const auto& hit : *results) {
+      auto brand = products.attributes().Get(hit.id, "brand");
+      auto price = products.attributes().Get(hit.id, "price");
+      std::printf("  id=%-5llu dist=%.4f brand=%-6s price=%.0f\n",
+                  (unsigned long long)hit.id, hit.dist,
+                  brand.ok() ? std::get<std::string>(*brand).c_str() : "?",
+                  price.ok() ? std::get<double>(*price) : -1.0);
+    }
+  };
+
+  std::string line;
+  bool got_input = false;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    got_input = true;
+    std::printf("> %s\n", line.c_str());
+    run(line);
+  }
+  if (!got_input) {
+    // Canned demo (also the ctest smoke path).
+    std::string vec = VectorLiteral(data, 42);
+    std::string demos[] = {
+        "SELECT knn(3) FROM products ORDER BY distance(" + vec + ")",
+        "SELECT knn(3) FROM products WHERE price < 50.0 AND brand = 'acme' "
+        "ORDER BY distance(" + vec + ")",
+        "SELECT knn(3) FROM products WHERE category IN (1, 2) "
+        "ORDER BY distance(" + vec + ")",
+        "SELECT knn(3) FROM missing ORDER BY distance(" + vec + ")",
+    };
+    for (const auto& demo : demos) {
+      std::printf("> %s\n", demo.c_str());
+      run(demo);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

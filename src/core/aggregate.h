@@ -1,0 +1,68 @@
+#ifndef VDB_CORE_AGGREGATE_H_
+#define VDB_CORE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vdb {
+
+/// Aggregate scores (paper §2.1): combine the scores of multiple
+/// query/entity vector pairs into a single scalar that can be compared.
+/// Operates on the internal distance convention (lower is better).
+enum class AggregateKind {
+  kMean,        ///< arithmetic mean of the pair distances
+  kWeightedSum, ///< dot product with user weights
+  kMin,         ///< best single pair (optimistic match)
+  kMax,         ///< worst single pair (conservative match)
+};
+
+/// Combines per-pair distances into one entity-level distance.
+class Aggregator {
+ public:
+  static Result<Aggregator> Create(AggregateKind kind,
+                                   std::vector<float> weights = {}) {
+    if (kind == AggregateKind::kWeightedSum && weights.empty()) {
+      return Status::InvalidArgument("weighted sum requires weights");
+    }
+    Aggregator a;
+    a.kind_ = kind;
+    a.weights_ = std::move(weights);
+    return a;
+  }
+
+  AggregateKind kind() const { return kind_; }
+
+  float Combine(const std::vector<float>& dists) const {
+    if (dists.empty()) return std::numeric_limits<float>::infinity();
+    switch (kind_) {
+      case AggregateKind::kMean: {
+        float sum = std::accumulate(dists.begin(), dists.end(), 0.0f);
+        return sum / static_cast<float>(dists.size());
+      }
+      case AggregateKind::kWeightedSum: {
+        float sum = 0.0f;
+        std::size_t n = std::min(dists.size(), weights_.size());
+        for (std::size_t i = 0; i < n; ++i) sum += dists[i] * weights_[i];
+        return sum;
+      }
+      case AggregateKind::kMin:
+        return *std::min_element(dists.begin(), dists.end());
+      case AggregateKind::kMax:
+        return *std::max_element(dists.begin(), dists.end());
+    }
+    return std::numeric_limits<float>::infinity();
+  }
+
+ private:
+  AggregateKind kind_ = AggregateKind::kMean;
+  std::vector<float> weights_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_AGGREGATE_H_

@@ -1,0 +1,66 @@
+#include "core/eval.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/topk.h"
+
+namespace vdb {
+
+std::vector<std::vector<Neighbor>> GroundTruth(const FloatMatrix& data,
+                                               const FloatMatrix& queries,
+                                               const Scorer& scorer,
+                                               std::size_t k) {
+  std::vector<std::vector<Neighbor>> truth(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    TopK top(k);
+    const float* query = queries.row(q);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      top.Push(static_cast<VectorId>(i), scorer.Distance(query, data.row(i)));
+    }
+    truth[q] = top.Take();
+  }
+  return truth;
+}
+
+double RecallAt(const std::vector<Neighbor>& result,
+                const std::vector<Neighbor>& truth, std::size_t k) {
+  if (truth.empty() || k == 0) return 1.0;
+  std::size_t upto = std::min(k, truth.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < std::min(k, result.size()); ++i) {
+    for (std::size_t j = 0; j < upto; ++j) {
+      if (result[i].id == truth[j].id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(upto);
+}
+
+double MeanRecall(const std::vector<std::vector<Neighbor>>& results,
+                  const std::vector<std::vector<Neighbor>>& truths,
+                  std::size_t k) {
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    sum += RecallAt(results[i], truths[i], k);
+  }
+  return sum / static_cast<double>(results.size());
+}
+
+double RelativeContrast(const FloatMatrix& data, const float* query,
+                        const Scorer& scorer) {
+  double dmin = std::numeric_limits<double>::max();
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    double dist = scorer.Distance(query, data.row(i));
+    dmin = std::min(dmin, dist);
+    dmax = std::max(dmax, dist);
+  }
+  if (dmin <= 0.0) dmin = 1e-12;
+  return (dmax - dmin) / dmin;
+}
+
+}  // namespace vdb

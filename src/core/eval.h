@@ -1,0 +1,41 @@
+#ifndef VDB_CORE_EVAL_H_
+#define VDB_CORE_EVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Result-quality measurement (paper §2.1: "the quality of a result set is
+/// measured using precision and recall") and exact ground-truth generation,
+/// ANN-Benchmarks style.
+
+/// Exact k-NN ground truth for each query row by brute force. Ids are the
+/// row indices of `data`.
+std::vector<std::vector<Neighbor>> GroundTruth(const FloatMatrix& data,
+                                               const FloatMatrix& queries,
+                                               const Scorer& scorer,
+                                               std::size_t k);
+
+/// recall@k of one result list against its ground-truth list: fraction of
+/// true neighbors retrieved (ties beyond position k are not credited).
+double RecallAt(const std::vector<Neighbor>& result,
+                const std::vector<Neighbor>& truth, std::size_t k);
+
+/// Mean recall@k across queries.
+double MeanRecall(const std::vector<std::vector<Neighbor>>& results,
+                  const std::vector<std::vector<Neighbor>>& truths,
+                  std::size_t k);
+
+/// Relative contrast of a query against a dataset:
+/// (d_max - d_min) / d_min. Contrast tending to 0 as dim grows is the
+/// curse-of-dimensionality diagnostic (paper §2.1 Score Selection).
+double RelativeContrast(const FloatMatrix& data, const float* query,
+                        const Scorer& scorer);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_EVAL_H_

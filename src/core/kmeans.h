@@ -1,0 +1,46 @@
+#ifndef VDB_CORE_KMEANS_H_
+#define VDB_CORE_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Lloyd's k-means with k-means++ seeding. The learned-partitioning
+/// workhorse behind IVF coarse quantizers, PQ codebooks, SPANN posting
+/// lists, and learning-to-hash bucketing (paper §2.2).
+struct KMeansOptions {
+  std::size_t k = 16;
+  int max_iters = 20;
+  std::uint64_t seed = 42;
+  /// Stop when the relative improvement of total inertia drops below this.
+  double tol = 1e-4;
+  /// When true, empty clusters are re-seeded by splitting the largest one
+  /// (keeps bucket counts balanced enough for IVF).
+  bool reseed_empty = true;
+};
+
+struct KMeansResult {
+  FloatMatrix centroids;              ///< k x d
+  std::vector<std::uint32_t> assignments;  ///< n, cluster of each row
+  double inertia = 0.0;               ///< sum of squared dists to centroid
+  int iters_run = 0;
+};
+
+/// Clusters the rows of `data` (L2 geometry).
+Result<KMeansResult> KMeans(const FloatMatrix& data, const KMeansOptions& opts);
+
+/// Index of the centroid nearest to `x` (L2).
+std::uint32_t NearestCentroid(const FloatMatrix& centroids, const float* x);
+
+/// Indices of the `n` nearest centroids, ascending by distance.
+std::vector<std::uint32_t> NearestCentroids(const FloatMatrix& centroids,
+                                            const float* x, std::size_t n);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_KMEANS_H_

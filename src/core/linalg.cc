@@ -1,0 +1,188 @@
+#include "core/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vdb::linalg {
+
+FloatMatrix MatMul(const FloatMatrix& a, const FloatMatrix& b) {
+  FloatMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+FloatMatrix Transpose(const FloatMatrix& a) {
+  FloatMatrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+void MatVec(const FloatMatrix& a, const float* x, float* y) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = static_cast<float>(acc);
+  }
+}
+
+std::vector<float> ColumnMeans(const FloatMatrix& data) {
+  std::vector<double> sums(data.cols(), 0.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const float* row = data.row(i);
+    for (std::size_t j = 0; j < data.cols(); ++j) sums[j] += row[j];
+  }
+  std::vector<float> means(data.cols());
+  double inv = data.rows() ? 1.0 / static_cast<double>(data.rows()) : 0.0;
+  for (std::size_t j = 0; j < data.cols(); ++j)
+    means[j] = static_cast<float>(sums[j] * inv);
+  return means;
+}
+
+FloatMatrix Covariance(const FloatMatrix& data) {
+  const std::size_t n = data.rows(), d = data.cols();
+  std::vector<float> mean = ColumnMeans(data);
+  FloatMatrix cov(d, d);
+  if (n < 2) return cov;
+  // Accumulate in double to stay stable for large n.
+  std::vector<double> acc(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
+    for (std::size_t j = 0; j < d; ++j) {
+      double cj = centered[j];
+      for (std::size_t k = j; k < d; ++k) acc[j * d + k] += cj * centered[k];
+    }
+  }
+  double inv = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = j; k < d; ++k) {
+      float v = static_cast<float>(acc[j * d + k] * inv);
+      cov.at(j, k) = v;
+      cov.at(k, j) = v;
+    }
+  }
+  return cov;
+}
+
+bool JacobiEigenSymmetric(const FloatMatrix& a, std::vector<float>* eigenvalues,
+                          FloatMatrix* eigenvectors, int max_sweeps) {
+  if (a.rows() != a.cols()) return false;
+  const std::size_t d = a.rows();
+  // Work in double for convergence.
+  std::vector<double> m(d * d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j) m[i * d + j] = a.at(i, j);
+  std::vector<double> v(d * d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) v[i * d + i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < d; ++p)
+      for (std::size_t q = p + 1; q < d; ++q) off += m[p * d + q] * m[p * d + q];
+    if (off < 1e-18) break;
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) {
+        double apq = m[p * d + q];
+        if (std::fabs(apq) < 1e-30) continue;
+        double app = m[p * d + p], aqq = m[q * d + q];
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Rotate rows/cols p and q of m.
+        for (std::size_t k = 0; k < d; ++k) {
+          double mkp = m[k * d + p], mkq = m[k * d + q];
+          m[k * d + p] = c * mkp - s * mkq;
+          m[k * d + q] = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < d; ++k) {
+          double mpk = m[p * d + k], mqk = m[q * d + k];
+          m[p * d + k] = c * mpk - s * mqk;
+          m[q * d + k] = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors (as columns of v).
+        for (std::size_t k = 0; k < d; ++k) {
+          double vkp = v[k * d + p], vkq = v[k * d + q];
+          v[k * d + p] = c * vkp - s * vkq;
+          v[k * d + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return m[x * d + x] > m[y * d + y];
+  });
+
+  eigenvalues->resize(d);
+  *eigenvectors = FloatMatrix(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    std::size_t src = order[r];
+    (*eigenvalues)[r] = static_cast<float>(m[src * d + src]);
+    for (std::size_t k = 0; k < d; ++k)
+      eigenvectors->at(r, k) = static_cast<float>(v[k * d + src]);
+  }
+  return true;
+}
+
+PcaResult Pca(const FloatMatrix& data, std::size_t num_components) {
+  PcaResult result;
+  result.mean = ColumnMeans(data);
+  FloatMatrix cov = Covariance(data);
+  std::vector<float> evals;
+  FloatMatrix evecs;
+  JacobiEigenSymmetric(cov, &evals, &evecs);
+  std::size_t keep = std::min(num_components, data.cols());
+  result.components = FloatMatrix(keep, data.cols());
+  result.variances.assign(evals.begin(), evals.begin() + keep);
+  for (std::size_t r = 0; r < keep; ++r) {
+    for (std::size_t j = 0; j < data.cols(); ++j)
+      result.components.at(r, j) = evecs.at(r, j);
+  }
+  return result;
+}
+
+FloatMatrix RandomOrthonormal(std::size_t d, Rng* rng) {
+  FloatMatrix q(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    float* row = q.row(i);
+    for (std::size_t j = 0; j < d; ++j) row[j] = rng->NextGaussian();
+    // Gram–Schmidt against previous rows.
+    for (std::size_t p = 0; p < i; ++p) {
+      const float* prev = q.row(p);
+      double dot = 0.0;
+      for (std::size_t j = 0; j < d; ++j) dot += row[j] * prev[j];
+      for (std::size_t j = 0; j < d; ++j)
+        row[j] -= static_cast<float>(dot) * prev[j];
+    }
+    double norm = 0.0;
+    for (std::size_t j = 0; j < d; ++j) norm += row[j] * row[j];
+    norm = std::sqrt(std::max(norm, 1e-20));
+    for (std::size_t j = 0; j < d; ++j)
+      row[j] = static_cast<float>(row[j] / norm);
+  }
+  return q;
+}
+
+void Project(const FloatMatrix& basis, const float* x, float* out) {
+  MatVec(basis, x, out);
+}
+
+}  // namespace vdb::linalg

@@ -1,0 +1,59 @@
+#ifndef VDB_CORE_LINALG_H_
+#define VDB_CORE_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/types.h"
+
+namespace vdb::linalg {
+
+/// Small dense linear-algebra helpers used by the learned-partitioning
+/// substrates: PCA trees, OPQ rotations, and Mahalanobis metric learning.
+/// Sized for dim <= ~1024; everything is O(d^2)–O(d^3) and exact.
+
+/// c = a * b for row-major (n x k) * (k x m).
+FloatMatrix MatMul(const FloatMatrix& a, const FloatMatrix& b);
+
+/// Row-major transpose.
+FloatMatrix Transpose(const FloatMatrix& a);
+
+/// y = A * x for row-major (n x d) matrix and length-d vector.
+void MatVec(const FloatMatrix& a, const float* x, float* y);
+
+/// Column means of an (n x d) data matrix.
+std::vector<float> ColumnMeans(const FloatMatrix& data);
+
+/// Sample covariance matrix (d x d) of the rows of `data`.
+FloatMatrix Covariance(const FloatMatrix& data);
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// On return `eigenvalues` are descending and `eigenvectors` holds the
+/// corresponding eigenvectors as ROWS. Returns false if `a` is not square.
+bool JacobiEigenSymmetric(const FloatMatrix& a,
+                          std::vector<float>* eigenvalues,
+                          FloatMatrix* eigenvectors,
+                          int max_sweeps = 64);
+
+/// Result of a principal component analysis.
+struct PcaResult {
+  std::vector<float> mean;       ///< column means subtracted before analysis
+  FloatMatrix components;        ///< num_components x d, rows orthonormal
+  std::vector<float> variances;  ///< explained variance per component
+};
+
+/// PCA of `data` keeping the top `num_components` axes.
+PcaResult Pca(const FloatMatrix& data, std::size_t num_components);
+
+/// Random orthonormal d x d matrix (rows orthonormal) via Gram–Schmidt on
+/// a Gaussian matrix — used to initialize OPQ and for random rotations.
+FloatMatrix RandomOrthonormal(std::size_t d, Rng* rng);
+
+/// Projects `x` (length d) onto each row of `basis`, writing
+/// `basis.rows()` coefficients into `out`.
+void Project(const FloatMatrix& basis, const float* x, float* out);
+
+}  // namespace vdb::linalg
+
+#endif  // VDB_CORE_LINALG_H_

@@ -1,0 +1,49 @@
+#include "core/metric_learning.h"
+
+#include <cmath>
+
+#include "core/linalg.h"
+
+namespace vdb {
+
+Result<MetricSpec> LearnMahalanobis(
+    const FloatMatrix& data,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& same_pairs,
+    const MetricLearningOptions& opts) {
+  if (data.empty()) return Status::InvalidArgument("empty data");
+  if (same_pairs.empty()) return Status::InvalidArgument("no pairs");
+  const std::size_t d = data.cols();
+
+  // Within-class scatter of difference vectors.
+  FloatMatrix diffs(same_pairs.size(), d);
+  for (std::size_t p = 0; p < same_pairs.size(); ++p) {
+    auto [i, j] = same_pairs[p];
+    if (i >= data.rows() || j >= data.rows()) {
+      return Status::OutOfRange("pair index out of range");
+    }
+    const float* a = data.row(i);
+    const float* b = data.row(j);
+    float* out = diffs.row(p);
+    for (std::size_t t = 0; t < d; ++t) out[t] = a[t] - b[t];
+  }
+  FloatMatrix w = linalg::Covariance(diffs);
+
+  std::vector<float> evals;
+  FloatMatrix evecs;  // rows are eigenvectors
+  if (!linalg::JacobiEigenSymmetric(w, &evals, &evecs)) {
+    return Status::Internal("eigendecomposition failed");
+  }
+
+  // L = D^{-1/2} * E  so that L^T L = E^T D^{-1} E = (W + ridge I)^{-1}.
+  FloatMatrix l(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    float lam = std::max(evals[r], 0.0f) + opts.ridge;
+    float scale = 1.0f / std::sqrt(lam);
+    for (std::size_t c = 0; c < d; ++c) l.at(r, c) = scale * evecs.at(r, c);
+  }
+
+  std::vector<float> flat(l.data(), l.data() + d * d);
+  return MetricSpec::Mahalanobis(std::move(flat));
+}
+
+}  // namespace vdb

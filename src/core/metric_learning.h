@@ -1,0 +1,33 @@
+#ifndef VDB_CORE_METRIC_LEARNING_H_
+#define VDB_CORE_METRIC_LEARNING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Learned similarity scores (paper §2.1 "Score Design": metric learning).
+/// Learns a Mahalanobis factor L such that distances shrink along
+/// directions of within-entity variation: M = (W + eps*I)^-1 where W is
+/// the covariance of the difference vectors of `same_pairs` (pairs known to
+/// be semantically identical). This is the classic "whitening the
+/// within-class scatter" metric learner.
+struct MetricLearningOptions {
+  float ridge = 1e-3f;  ///< regularizer added to W's eigenvalues
+};
+
+/// Returns a MetricSpec with `metric == kMahalanobis` whose factor L
+/// satisfies L^T L = (W + ridge*I)^-1 (computed via eigendecomposition).
+Result<MetricSpec> LearnMahalanobis(
+    const FloatMatrix& data,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& same_pairs,
+    const MetricLearningOptions& opts = {});
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_METRIC_LEARNING_H_

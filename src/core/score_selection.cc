@@ -1,0 +1,84 @@
+#include "core/score_selection.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/metric_learning.h"
+
+namespace vdb {
+
+Result<std::vector<ScoreCandidate>> SelectScore(
+    const ScoreSelectionInput& input, const std::vector<MetricSpec>& specs) {
+  if (input.data == nullptr || input.data->empty()) {
+    return Status::InvalidArgument("data is required");
+  }
+  if (input.same_pairs.empty() || input.diff_pairs.empty()) {
+    return Status::InvalidArgument("both pair populations are required");
+  }
+  const FloatMatrix& data = *input.data;
+  auto check = [&](const std::pair<std::uint32_t, std::uint32_t>& p) {
+    return p.first < data.rows() && p.second < data.rows();
+  };
+  for (const auto& p : input.same_pairs) {
+    if (!check(p)) return Status::OutOfRange("pair index out of range");
+  }
+  for (const auto& p : input.diff_pairs) {
+    if (!check(p)) return Status::OutOfRange("pair index out of range");
+  }
+
+  std::vector<ScoreCandidate> out;
+  for (const auto& spec : specs) {
+    VDB_ASSIGN_OR_RETURN(Scorer scorer, Scorer::Create(spec, data.cols()));
+    std::vector<float> same, diff;
+    same.reserve(input.same_pairs.size());
+    diff.reserve(input.diff_pairs.size());
+    for (const auto& [a, b] : input.same_pairs) {
+      same.push_back(scorer.Distance(data.row(a), data.row(b)));
+    }
+    for (const auto& [a, b] : input.diff_pairs) {
+      diff.push_back(scorer.Distance(data.row(a), data.row(b)));
+    }
+    // AUC by direct pair comparison (exact; populations are small).
+    double wins = 0.0;
+    for (float s : same) {
+      for (float d : diff) {
+        if (s < d) {
+          wins += 1.0;
+        } else if (s == d) {
+          wins += 0.5;
+        }
+      }
+    }
+    ScoreCandidate candidate;
+    candidate.spec = spec;
+    candidate.auc =
+        wins / (static_cast<double>(same.size()) * diff.size());
+    candidate.name = MetricName(spec.metric);
+    if (spec.metric == Metric::kMinkowski) {
+      // Compact "p" suffix: one decimal place covers the usual orders.
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "-p%.1f", spec.minkowski_p);
+      candidate.name += buf;
+    }
+    out.push_back(std::move(candidate));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoreCandidate& a, const ScoreCandidate& b) {
+              return a.auc > b.auc;
+            });
+  return out;
+}
+
+Result<std::vector<ScoreCandidate>> SelectScoreDefaultSlate(
+    const ScoreSelectionInput& input) {
+  std::vector<MetricSpec> slate = {
+      MetricSpec::L2(), MetricSpec::InnerProduct(), MetricSpec::Cosine(),
+      MetricSpec::Minkowski(1.0f), MetricSpec::Minkowski(3.0f)};
+  if (input.data != nullptr && input.same_pairs.size() >= 8) {
+    auto learned = LearnMahalanobis(*input.data, input.same_pairs);
+    if (learned.ok()) slate.push_back(*learned);
+  }
+  return SelectScore(input, slate);
+}
+
+}  // namespace vdb

@@ -1,0 +1,49 @@
+#ifndef VDB_CORE_SCORE_SELECTION_H_
+#define VDB_CORE_SCORE_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Automatic similarity-score selection (paper §2.6(1): "approaches for
+/// similarity score selection remain lacking"; EuclidesDB queries many
+/// scores and leaves the decision to the user). This helper closes that
+/// loop with weak supervision: given pairs labeled same-entity /
+/// different-entity, each candidate score is rated by how well it
+/// separates the two populations, measured as AUC (the probability a
+/// random same-pair scores closer than a random different-pair).
+struct ScoreCandidate {
+  MetricSpec spec;
+  double auc = 0.0;      ///< separation quality in [0.5 crosses, 1 perfect]
+  std::string name;
+};
+
+struct ScoreSelectionInput {
+  const FloatMatrix* data = nullptr;
+  /// Row-index pairs known to refer to the same entity.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> same_pairs;
+  /// Row-index pairs known to refer to different entities.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> diff_pairs;
+};
+
+/// Evaluates each candidate spec on the labeled pairs and returns them
+/// sorted by descending AUC (first element = recommended score).
+Result<std::vector<ScoreCandidate>> SelectScore(
+    const ScoreSelectionInput& input, const std::vector<MetricSpec>& specs);
+
+/// Convenience: the default candidate slate (L2, inner product, cosine,
+/// Manhattan, Minkowski-3) plus, when enough same-pairs exist, a learned
+/// Mahalanobis metric.
+Result<std::vector<ScoreCandidate>> SelectScoreDefaultSlate(
+    const ScoreSelectionInput& input);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_SCORE_SELECTION_H_

@@ -1,0 +1,59 @@
+#ifndef VDB_CORE_SIMD_H_
+#define VDB_CORE_SIMD_H_
+
+#include <cstddef>
+
+namespace vdb::simd {
+
+/// Low-level similarity-projection kernels (paper §2.3(1): SIMD hardware
+/// acceleration). Each kernel exists in a deliberately non-vectorized
+/// scalar reference form and an AVX2/FMA form; `HasAvx2()` selects at run
+/// time and `bench_simd` measures the gap.
+
+/// True when the CPU supports AVX2 + FMA.
+bool HasAvx2();
+
+// -- Scalar reference kernels (compiled with auto-vectorization disabled
+//    so they are an honest baseline). --------------------------------------
+float L2SqScalar(const float* a, const float* b, std::size_t dim);
+float InnerProductScalar(const float* a, const float* b, std::size_t dim);
+float NormSqScalar(const float* a, std::size_t dim);
+
+// -- AVX2 kernels. Fall back to scalar when AVX2 is unavailable. ----------
+float L2SqAvx2(const float* a, const float* b, std::size_t dim);
+float InnerProductAvx2(const float* a, const float* b, std::size_t dim);
+float NormSqAvx2(const float* a, std::size_t dim);
+
+// -- Dispatched entry points used by the rest of the library. -------------
+float L2Sq(const float* a, const float* b, std::size_t dim);
+float InnerProduct(const float* a, const float* b, std::size_t dim);
+float NormSq(const float* a, std::size_t dim);
+
+/// Batched asymmetric-distance (ADC) table accumulation: for `m` subspaces
+/// with `ksub` centroids each, sums table[j][codes[j]] over j. `codes` are
+/// uint8 PQ codes; `tables` is row-major (m x ksub).
+float AdcLookupScalar(const float* tables, const unsigned char* codes,
+                      std::size_t m, std::size_t ksub);
+float AdcLookup(const float* tables, const unsigned char* codes,
+                std::size_t m, std::size_t ksub);
+
+/// Quick ADC / FastScan (André et al., the §2.3(1) SIMD-register-shuffle
+/// technique): 4-bit PQ codes for a block of 32 vectors are scanned with
+/// one in-register pshufb lookup per subquantizer, keeping the distance
+/// tables resident in SIMD registers instead of L1.
+///
+/// Layout: `luts` is m x 16 uint8 (the per-subspace distance table,
+/// quantized to bytes); `codes` is m x 32, one 4-bit code per byte (low
+/// nibble), subquantizer-major. `out` receives 32 uint16 distance sums.
+/// m must be <= 128 so sums cannot overflow uint16 (128 * 255 < 65536).
+void QuickAdcBlockScalar(const unsigned char* luts,
+                         const unsigned char* codes, std::size_t m,
+                         unsigned short* out);
+void QuickAdcBlockAvx2(const unsigned char* luts, const unsigned char* codes,
+                       std::size_t m, unsigned short* out);
+void QuickAdcBlock(const unsigned char* luts, const unsigned char* codes,
+                   std::size_t m, unsigned short* out);
+
+}  // namespace vdb::simd
+
+#endif  // VDB_CORE_SIMD_H_

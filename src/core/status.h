@@ -1,0 +1,155 @@
+#ifndef VDB_CORE_STATUS_H_
+#define VDB_CORE_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vdb {
+
+/// Error codes returned across all public API boundaries. The library does
+/// not throw exceptions; fallible operations return `Status` or
+/// `Result<T>` (RocksDB-style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kCorruption,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight success/error carrier. Cheap to copy when OK (no message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status Unsupported(std::string_view msg) {
+    return Status(StatusCode::kUnsupported, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  static std::string_view CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kUnsupported: return "UNSUPPORTED";
+      case StatusCode::kCorruption: return "CORRUPTION";
+      case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error. `value()` asserts the result is OK; check `ok()` (or
+/// `status()`) first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define VDB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::vdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns the value on success,
+/// propagates the Status on failure.
+#define VDB_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto VDB_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!VDB_CONCAT_(_res_, __LINE__).ok())        \
+    return VDB_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(VDB_CONCAT_(_res_, __LINE__)).value()
+
+#define VDB_CONCAT_INNER_(a, b) a##b
+#define VDB_CONCAT_(a, b) VDB_CONCAT_INNER_(a, b)
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_STATUS_H_

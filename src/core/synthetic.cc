@@ -1,0 +1,104 @@
+#include "core/synthetic.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/simd.h"
+
+namespace vdb {
+
+FloatMatrix UniformCube(const SyntheticOptions& opts) {
+  Rng rng(opts.seed);
+  FloatMatrix data(opts.n, opts.dim);
+  for (std::size_t i = 0; i < opts.n; ++i) {
+    float* row = data.row(i);
+    for (std::size_t j = 0; j < opts.dim; ++j)
+      row[j] = rng.NextFloat(0.0f, 1.0f);
+  }
+  return data;
+}
+
+namespace {
+
+FloatMatrix MakeCenters(std::size_t k, std::size_t dim, Rng* rng) {
+  FloatMatrix centers(k, dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    float* row = centers.row(c);
+    for (std::size_t j = 0; j < dim; ++j) row[j] = rng->NextFloat(0.0f, 1.0f);
+  }
+  return centers;
+}
+
+}  // namespace
+
+FloatMatrix GaussianClusters(const SyntheticOptions& opts) {
+  Rng rng(opts.seed);
+  FloatMatrix centers = MakeCenters(opts.num_clusters, opts.dim, &rng);
+  FloatMatrix data(opts.n, opts.dim);
+  for (std::size_t i = 0; i < opts.n; ++i) {
+    std::size_t c = rng.Next(opts.num_clusters);
+    const float* center = centers.row(c);
+    float* row = data.row(i);
+    for (std::size_t j = 0; j < opts.dim; ++j)
+      row[j] = center[j] + opts.cluster_std * rng.NextGaussian();
+  }
+  return data;
+}
+
+FloatMatrix UnitSphere(const SyntheticOptions& opts) {
+  Rng rng(opts.seed);
+  FloatMatrix data(opts.n, opts.dim);
+  for (std::size_t i = 0; i < opts.n; ++i) {
+    float* row = data.row(i);
+    for (std::size_t j = 0; j < opts.dim; ++j) row[j] = rng.NextGaussian();
+    float norm = std::sqrt(simd::NormSq(row, opts.dim));
+    if (norm <= 0.0f) {
+      row[0] = 1.0f;
+      continue;
+    }
+    for (std::size_t j = 0; j < opts.dim; ++j) row[j] /= norm;
+  }
+  return data;
+}
+
+FloatMatrix OutOfDistributionQueries(const SyntheticOptions& opts,
+                                     std::size_t num_queries) {
+  SyntheticOptions q = opts;
+  q.n = num_queries;
+  q.seed = opts.seed * 2654435761u + 17;  // decorrelate center placement
+  return GaussianClusters(q);
+}
+
+FloatMatrix PerturbedQueries(const FloatMatrix& data, std::size_t num_queries,
+                             float noise_std, std::uint64_t seed) {
+  Rng rng(seed);
+  FloatMatrix queries(num_queries, data.cols());
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const float* src = data.row(rng.Next(data.rows()));
+    float* row = queries.row(i);
+    for (std::size_t j = 0; j < data.cols(); ++j)
+      row[j] = src[j] + noise_std * rng.NextGaussian();
+  }
+  return queries;
+}
+
+HybridWorkload MakeHybridWorkload(const SyntheticOptions& opts) {
+  Rng rng(opts.seed);
+  FloatMatrix centers = MakeCenters(opts.num_clusters, opts.dim, &rng);
+  HybridWorkload w;
+  w.vectors = FloatMatrix(opts.n, opts.dim);
+  w.cluster_attr.resize(opts.n);
+  w.uniform_attr.resize(opts.n);
+  for (std::size_t i = 0; i < opts.n; ++i) {
+    std::size_t c = rng.Next(opts.num_clusters);
+    const float* center = centers.row(c);
+    float* row = w.vectors.row(i);
+    for (std::size_t j = 0; j < opts.dim; ++j)
+      row[j] = center[j] + opts.cluster_std * rng.NextGaussian();
+    w.cluster_attr[i] = static_cast<std::int64_t>(c);
+    w.uniform_attr[i] = rng.NextDouble();
+  }
+  return w;
+}
+
+}  // namespace vdb

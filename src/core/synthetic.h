@@ -1,0 +1,64 @@
+#ifndef VDB_CORE_SYNTHETIC_H_
+#define VDB_CORE_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace vdb {
+
+/// Synthetic workload generators. These substitute for the real image /
+/// text / audio descriptor datasets used by ANN-Benchmarks (see DESIGN.md
+/// §3 "Substitutions"): ANN index behaviour is driven by intrinsic
+/// dimensionality and cluster structure, which these generators control
+/// explicitly and reproducibly (seeded).
+struct SyntheticOptions {
+  std::size_t n = 10000;
+  std::size_t dim = 32;
+  std::uint64_t seed = 42;
+  /// Gaussian-mixture parameters.
+  std::size_t num_clusters = 32;
+  float cluster_std = 0.15f;  ///< spread within a cluster (centers in unit cube)
+};
+
+/// i.i.d. uniform [0,1)^dim — the worst-case, structure-free workload
+/// (exhibits the curse of dimensionality most strongly).
+FloatMatrix UniformCube(const SyntheticOptions& opts);
+
+/// Gaussian mixture: `num_clusters` centers uniform in the unit cube, each
+/// point sampled from an isotropic Gaussian around a random center. This is
+/// the embedding-like workload (learned embeddings cluster by semantics).
+FloatMatrix GaussianClusters(const SyntheticOptions& opts);
+
+/// Points uniform on the unit hypersphere — normalized-embedding (angular /
+/// cosine) workload.
+FloatMatrix UnitSphere(const SyntheticOptions& opts);
+
+/// Queries drawn from the same distribution as `GaussianClusters` but from
+/// *different* random centers — the out-of-distribution query workload that
+/// stresses learned partitionings (paper §2.2: L2H "cannot easily handle
+/// out-of-distribution updates").
+FloatMatrix OutOfDistributionQueries(const SyntheticOptions& opts,
+                                     std::size_t num_queries);
+
+/// Queries sampled near dataset points (perturbed members) — the in-
+/// distribution query workload used for most experiments.
+FloatMatrix PerturbedQueries(const FloatMatrix& data, std::size_t num_queries,
+                             float noise_std, std::uint64_t seed);
+
+/// Attribute column correlated with the vector geometry: the attribute is
+/// the cluster id of each point, plus a uniform numeric column. Used by the
+/// hybrid-query experiments (selectivity vs geometry correlation matters
+/// for block-first vs visit-first scan).
+struct HybridWorkload {
+  FloatMatrix vectors;
+  std::vector<std::int64_t> cluster_attr;  ///< correlated categorical
+  std::vector<double> uniform_attr;        ///< independent numeric in [0,1)
+};
+HybridWorkload MakeHybridWorkload(const SyntheticOptions& opts);
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_SYNTHETIC_H_

@@ -1,0 +1,603 @@
+#include "db/collection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/topk.h"
+#include "exec/batch.h"
+#include "index/hnsw.h"
+#include "index/ivf.h"
+#include "storage/serializer.h"
+
+namespace vdb {
+
+namespace {
+
+/// Ids at or above this are internal multi-vector member rows.
+constexpr VectorId kInternalIdBase = VectorId{1} << 62;
+
+constexpr std::uint32_t kCheckpointMagic = 0x5643484B;  // "VCHK"
+
+/// Composes: user filter AND not-tombstoned AND id-is-in-index guard.
+class ComposedFilter final : public IdFilter {
+ public:
+  ComposedFilter(const IdFilter* user,
+                 const std::unordered_set<VectorId>* tombstones)
+      : user_(user), tombstones_(tombstones) {}
+  bool Matches(VectorId id) const override {
+    if (tombstones_ != nullptr && tombstones_->contains(id)) return false;
+    return user_ == nullptr || user_->Matches(id);
+  }
+
+ private:
+  const IdFilter* user_;
+  const std::unordered_set<VectorId>* tombstones_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Collection>> Collection::Create(
+    CollectionOptions opts) {
+  if (opts.dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (opts.embedder != nullptr && opts.embedder->dim() != opts.dim) {
+    return Status::InvalidArgument("embedder dim mismatch");
+  }
+  if (opts.use_lsm && !opts.index_factory) {
+    return Status::InvalidArgument("LSM mode requires an index factory");
+  }
+  auto collection = std::unique_ptr<Collection>(new Collection(std::move(opts)));
+  auto& c = *collection;
+  VDB_ASSIGN_OR_RETURN(c.scorer_, Scorer::Create(c.opts_.metric, c.opts_.dim));
+  c.vectors_ = VectorStore(c.opts_.dim);
+  for (const auto& [name, type] : c.opts_.attributes) {
+    VDB_RETURN_IF_ERROR(c.attrs_.AddColumn(name, type));
+  }
+  if (!c.opts_.partition_column.empty()) {
+    VDB_ASSIGN_OR_RETURN(AttrType type,
+                         c.attrs_.ColumnType(c.opts_.partition_column));
+    if (type != AttrType::kInt64) {
+      return Status::InvalidArgument("partition column must be int64");
+    }
+  }
+  if (c.opts_.use_lsm) {
+    LsmOptions lsm;
+    lsm.metric = c.opts_.metric;
+    lsm.memtable_limit = c.opts_.lsm_memtable_limit;
+    lsm.compact_at_segments = c.opts_.lsm_compact_at_segments;
+    lsm.factory = c.opts_.index_factory;
+    VDB_ASSIGN_OR_RETURN(c.lsm_, LsmVectorStore::Create(c.opts_.dim, lsm));
+  }
+  switch (c.opts_.plan_mode) {
+    case PlanMode::kCostBased:
+      c.optimizer_ = std::make_unique<CostBasedOptimizer>();
+      break;
+    case PlanMode::kRuleBased:
+      c.optimizer_ = std::make_unique<RuleBasedOptimizer>();
+      break;
+    case PlanMode::kPredefined:
+      break;  // no optimizer consulted
+  }
+  if (!c.opts_.wal_path.empty()) {
+    VDB_ASSIGN_OR_RETURN(c.wal_, Wal::Open(c.opts_.wal_path));
+  }
+  return collection;
+}
+
+Result<std::unique_ptr<Collection>> Collection::Open(CollectionOptions opts) {
+  std::string wal_path = opts.wal_path;
+  VDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> collection,
+                       Create(std::move(opts)));
+  if (!wal_path.empty()) {
+    struct Replayer : Wal::Visitor {
+      Collection* c;
+      Status status;
+      void OnInsert(VectorId id, std::span<const float> vec,
+                    const std::vector<AttrBinding>& attrs) override {
+        if (!status.ok()) return;
+        status = c->InsertInternal(id, vec.data(), attrs, /*log=*/false);
+      }
+      void OnDelete(VectorId id) override {
+        if (!status.ok()) return;
+        status = c->DeleteInternal(id, /*log=*/false);
+      }
+    } replayer;
+    replayer.c = collection.get();
+    VDB_RETURN_IF_ERROR(Wal::Replay(wal_path, &replayer));
+    VDB_RETURN_IF_ERROR(replayer.status);
+  }
+  return collection;
+}
+
+Status Collection::InsertInternal(VectorId id, const float* vec,
+                                  const std::vector<AttrBinding>& attrs,
+                                  bool log) {
+  if (vectors_.Contains(id)) return Status::AlreadyExists("id exists");
+  if (log && wal_ != nullptr) {
+    VDB_RETURN_IF_ERROR(
+        wal_->AppendInsert(id, {vec, opts_.dim}, attrs));
+  }
+  VDB_RETURN_IF_ERROR(vectors_.Put(id, vec));
+  if (id < kInternalIdBase) {
+    VDB_RETURN_IF_ERROR(attrs_.PutRow(id, attrs));
+  }
+  if (lsm_ != nullptr) {
+    VDB_RETURN_IF_ERROR(lsm_->Insert(id, vec));
+  } else if (index_ != nullptr && index_->SupportsAdd()) {
+    Status added = index_->Add(vec, id);
+    if (added.ok()) {
+      indexed_ids_.insert(id);
+    } else if (added.code() != StatusCode::kAlreadyExists) {
+      return added;
+    }
+    // AlreadyExists: the id is tombstoned inside the index (deleted then
+    // re-inserted); the fresh row is served from the unindexed delta until
+    // the next BuildIndex.
+  }
+  // Otherwise the row stays in the unindexed delta until BuildIndex.
+  return Status::Ok();
+}
+
+Status Collection::Insert(VectorId id, VectorView vec,
+                          const std::vector<AttrBinding>& attrs) {
+  if (vec.size() != opts_.dim) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  if (id >= kInternalIdBase) {
+    return Status::InvalidArgument("ids >= 2^62 are reserved");
+  }
+  return InsertInternal(id, vec.data(), attrs, /*log=*/true);
+}
+
+Status Collection::InsertText(VectorId id, const std::string& text,
+                              const std::vector<AttrBinding>& attrs) {
+  if (opts_.embedder == nullptr) {
+    return Status::FailedPrecondition("collection has no embedding model");
+  }
+  std::vector<float> vec = opts_.embedder->Embed(text);
+  return Insert(id, vec, attrs);
+}
+
+Status Collection::InsertEntity(VectorId entity, const FloatMatrix& vecs,
+                                const std::vector<AttrBinding>& attrs) {
+  if (vecs.empty() || vecs.cols() != opts_.dim) {
+    return Status::InvalidArgument("entity vectors must be n x dim, n >= 1");
+  }
+  if (entity >= kInternalIdBase) {
+    return Status::InvalidArgument("ids >= 2^62 are reserved");
+  }
+  if (entity_vectors_.contains(entity) || vectors_.Contains(entity)) {
+    return Status::AlreadyExists("entity exists");
+  }
+  VDB_RETURN_IF_ERROR(attrs_.PutRow(entity, attrs));
+  std::vector<VectorId>& members = entity_vectors_[entity];
+  for (std::size_t v = 0; v < vecs.rows(); ++v) {
+    VectorId vid = next_internal_id_++;
+    Status status = InsertInternal(vid, vecs.row(v), {}, /*log=*/true);
+    if (!status.ok()) {
+      entity_vectors_.erase(entity);
+      return status;
+    }
+    members.push_back(vid);
+    entity_of_vector_[vid] = entity;
+  }
+  return Status::Ok();
+}
+
+Status Collection::DeleteInternal(VectorId id, bool log) {
+  // Entity delete cascades to member vectors.
+  auto entity_it = entity_vectors_.find(id);
+  if (entity_it != entity_vectors_.end()) {
+    for (VectorId vid : entity_it->second) {
+      VDB_RETURN_IF_ERROR(DeleteInternal(vid, log));
+      entity_of_vector_.erase(vid);
+    }
+    entity_vectors_.erase(entity_it);
+    return Status::Ok();
+  }
+  if (!vectors_.Contains(id)) return Status::NotFound("id not present");
+  if (log && wal_ != nullptr) {
+    VDB_RETURN_IF_ERROR(wal_->AppendDelete(id));
+  }
+  VDB_RETURN_IF_ERROR(vectors_.Delete(id));
+  if (lsm_ != nullptr) {
+    VDB_RETURN_IF_ERROR(lsm_->Delete(id));
+  } else if (indexed_ids_.contains(id)) {
+    if (index_ != nullptr && index_->SupportsRemove()) {
+      VDB_RETURN_IF_ERROR(index_->Remove(id));
+    } else {
+      index_tombstones_.insert(id);
+    }
+    indexed_ids_.erase(id);
+  }
+  return Status::Ok();
+}
+
+Status Collection::Delete(VectorId id) { return DeleteInternal(id, true); }
+
+Status Collection::Upsert(VectorId id, VectorView vec,
+                          const std::vector<AttrBinding>& attrs) {
+  if (vec.size() != opts_.dim) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  if (vectors_.Contains(id) || entity_vectors_.contains(id)) {
+    VDB_RETURN_IF_ERROR(DeleteInternal(id, /*log=*/true));
+  }
+  return Insert(id, vec, attrs);
+}
+
+Status Collection::BuildIndex() {
+  if (lsm_ != nullptr) return Status::Ok();  // segments self-index
+  if (!opts_.index_factory) {
+    return Status::FailedPrecondition("no index factory configured");
+  }
+  FloatMatrix data;
+  std::vector<VectorId> ids;
+  vectors_.Snapshot(&data, &ids);
+  if (data.empty()) return Status::FailedPrecondition("collection is empty");
+
+  index_ = opts_.index_factory();
+  if (index_ == nullptr) return Status::Internal("factory returned null");
+  VDB_RETURN_IF_ERROR(index_->Build(data, ids));
+  indexed_ids_ = {ids.begin(), ids.end()};
+  index_tombstones_.clear();
+
+  if (!opts_.partition_column.empty()) {
+    std::vector<std::int64_t> partition_values(ids.size(), 0);
+    const auto* column = attrs_.Int64Column(opts_.partition_column);
+    if (column == nullptr) {
+      return Status::NotFound("partition column missing");
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] < column->size()) partition_values[i] = (*column)[ids[i]];
+    }
+    VDB_ASSIGN_OR_RETURN(
+        partitioned_,
+        AttributePartitionedIndex::Build(data, ids, partition_values,
+                                         opts_.index_factory,
+                                         opts_.partition_column));
+  }
+  return Status::Ok();
+}
+
+Status Collection::Checkpoint(const std::string& path) const {
+  BinaryWriter w(kCheckpointMagic);
+  w.U64(opts_.dim);
+  FloatMatrix data;
+  std::vector<VectorId> ids;
+  vectors_.Snapshot(&data, &ids);
+  w.Matrix(data);
+  w.U64Vector(ids);
+  attrs_.Save(&w);
+  w.U64(entity_vectors_.size());
+  for (const auto& [entity, members] : entity_vectors_) {
+    w.U64(entity);
+    w.U64Vector(members);
+  }
+  w.U64(next_internal_id_);
+  return w.WriteTo(path);
+}
+
+Result<std::unique_ptr<Collection>> Collection::Restore(
+    CollectionOptions opts, const std::string& path) {
+  std::string wal_path = opts.wal_path;
+  opts.wal_path.clear();
+  VDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> c, Create(std::move(opts)));
+
+  VDB_ASSIGN_OR_RETURN(BinaryReader r,
+                       BinaryReader::Open(path, kCheckpointMagic));
+  VDB_ASSIGN_OR_RETURN(std::uint64_t dim, r.U64());
+  if (dim != c->opts_.dim) {
+    return Status::InvalidArgument("checkpoint dim mismatch");
+  }
+  VDB_ASSIGN_OR_RETURN(FloatMatrix data, r.Matrix());
+  VDB_ASSIGN_OR_RETURN(std::vector<std::uint64_t> ids, r.U64Vector());
+  if (ids.size() != data.rows()) {
+    return Status::Corruption("checkpoint ids/rows mismatch");
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    VDB_RETURN_IF_ERROR(
+        c->InsertInternal(ids[i], data.row(i), {}, /*log=*/false));
+  }
+  VDB_RETURN_IF_ERROR(c->attrs_.Load(&r));
+  VDB_ASSIGN_OR_RETURN(std::uint64_t entities, r.U64());
+  for (std::uint64_t e = 0; e < entities; ++e) {
+    VDB_ASSIGN_OR_RETURN(std::uint64_t entity, r.U64());
+    VDB_ASSIGN_OR_RETURN(std::vector<std::uint64_t> members, r.U64Vector());
+    for (VectorId member : members) {
+      if (!c->vectors_.Contains(member)) {
+        return Status::Corruption("entity member missing from snapshot");
+      }
+      c->entity_of_vector_[member] = entity;
+    }
+    c->entity_vectors_[entity] = std::move(members);
+  }
+  VDB_ASSIGN_OR_RETURN(c->next_internal_id_, r.U64());
+
+  if (!wal_path.empty()) {
+    struct Replayer : Wal::Visitor {
+      Collection* c;
+      Status status;
+      void OnInsert(VectorId id, std::span<const float> vec,
+                    const std::vector<AttrBinding>& attrs) override {
+        if (!status.ok()) return;
+        status = c->InsertInternal(id, vec.data(), attrs, /*log=*/false);
+        // Records already absorbed by the checkpoint replay as duplicates:
+        // skip them (checkpoint is a prefix of the log's effects).
+        if (status.code() == StatusCode::kAlreadyExists) status = Status::Ok();
+      }
+      void OnDelete(VectorId id) override {
+        if (!status.ok()) return;
+        status = c->DeleteInternal(id, /*log=*/false);
+        if (status.code() == StatusCode::kNotFound) status = Status::Ok();
+      }
+    } replayer;
+    replayer.c = c.get();
+    VDB_RETURN_IF_ERROR(Wal::Replay(wal_path, &replayer));
+    VDB_RETURN_IF_ERROR(replayer.status);
+    c->opts_.wal_path = wal_path;
+    VDB_ASSIGN_OR_RETURN(c->wal_, Wal::Open(wal_path));
+  }
+  return c;
+}
+
+CollectionView Collection::View() const {
+  return {&vectors_, &attrs_, index_.get(), partitioned_.get(), &scorer_};
+}
+
+Status Collection::SearchMerged(const float* query, const SearchParams& params,
+                                std::vector<Neighbor>* out,
+                                SearchStats* stats) const {
+  if (lsm_ != nullptr) {
+    return lsm_->Search(query, params, out, stats);
+  }
+  std::vector<std::vector<Neighbor>> parts;
+  if (index_ != nullptr) {
+    ComposedFilter filter(params.filter, &index_tombstones_);
+    SearchParams inner = params;
+    inner.filter = &filter;
+    // Tombstones must remain traversable in graph indexes: single-stage.
+    inner.filter_mode = FilterMode::kVisitFirst;
+    std::vector<Neighbor> part;
+    VDB_RETURN_IF_ERROR(index_->Search(query, inner, &part, stats));
+    parts.push_back(std::move(part));
+  }
+  // Brute-force the unindexed delta (and everything, if no index).
+  {
+    TopK top(params.k);
+    for (VectorId id : vectors_.LiveIds()) {
+      if (index_ != nullptr && indexed_ids_.contains(id)) continue;
+      if (params.filter != nullptr) {
+        if (stats != nullptr) ++stats->filter_checks;
+        if (!params.filter->Matches(id)) continue;
+      }
+      float dist = scorer_.Distance(query, vectors_.Get(id));
+      if (stats != nullptr) ++stats->distance_comps;
+      top.Push(id, dist);
+    }
+    parts.push_back(top.Take());
+  }
+  *out = MergeTopK(parts, params.k);
+  return Status::Ok();
+}
+
+Status Collection::Knn(VectorView query, std::size_t k,
+                       std::vector<Neighbor>* out, SearchStats* stats,
+                       const SearchParams* params) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (query.size() != opts_.dim) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  SearchParams p = params != nullptr ? *params : SearchParams{};
+  p.k = k;
+  std::vector<Neighbor> raw;
+  // Over-fetch when multi-vector entities exist so entity dedup can still
+  // fill k slots.
+  if (!entity_vectors_.empty()) p.k = k * 4;
+  VDB_RETURN_IF_ERROR(SearchMerged(query.data(), p, &raw, stats));
+  if (entity_vectors_.empty()) {
+    *out = std::move(raw);
+    return Status::Ok();
+  }
+  // Map member vectors to their entity, keeping the best distance.
+  out->clear();
+  std::unordered_set<VectorId> seen;
+  for (const auto& nb : raw) {
+    auto it = entity_of_vector_.find(nb.id);
+    VectorId id = it != entity_of_vector_.end() ? it->second : nb.id;
+    if (!seen.insert(id).second) continue;
+    out->push_back({id, nb.dist});
+    if (out->size() >= k) break;
+  }
+  return Status::Ok();
+}
+
+Status Collection::RangeSearch(VectorView query, float radius,
+                               std::vector<Neighbor>* out,
+                               SearchStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  out->clear();
+  // Exact by construction: scan the vector store (range semantics demand
+  // completeness; index-accelerated range search is available directly on
+  // FlatIndex / graph indexes for approximate variants).
+  for (VectorId id : vectors_.LiveIds()) {
+    float dist = scorer_.Distance(query.data(), vectors_.Get(id));
+    if (stats != nullptr) ++stats->distance_comps;
+    if (dist <= radius) {
+      auto it = entity_of_vector_.find(id);
+      out->push_back({it != entity_of_vector_.end() ? it->second : id, dist});
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end(),
+                         [](const Neighbor& a, const Neighbor& b) {
+                           return a.id == b.id;
+                         }),
+             out->end());
+  return Status::Ok();
+}
+
+Result<CkSearchResult> Collection::CkSearch(VectorView query, double c,
+                                            std::size_t k,
+                                            SearchStats* stats) const {
+  if (c < 1.0) return Status::InvalidArgument("c must be >= 1");
+  // Exact k-th distance (the verification oracle).
+  TopK exact(k);
+  for (VectorId id : vectors_.LiveIds()) {
+    exact.Push(id, scorer_.Distance(query.data(), vectors_.Get(id)));
+  }
+  auto truth = exact.Take();
+  if (truth.empty()) return Status::FailedPrecondition("collection is empty");
+  double exact_kth = truth.back().dist;
+
+  CkSearchResult result;
+  SearchParams p;
+  p.k = k;
+  for (int ef = 32; ef <= 4096; ef *= 4) {
+    p.ef = ef;
+    VDB_RETURN_IF_ERROR(
+        SearchMerged(query.data(), p, &result.neighbors, stats));
+    double worst = result.neighbors.empty()
+                       ? std::numeric_limits<double>::infinity()
+                       : result.neighbors.back().dist;
+    result.achieved_ratio =
+        exact_kth > 0.0 ? worst / exact_kth : (worst > 0.0 ? c + 1.0 : 1.0);
+    result.satisfied = result.neighbors.size() >= truth.size() &&
+                       result.achieved_ratio <= c + 1e-9;
+    if (result.satisfied) break;
+  }
+  return result;
+}
+
+Status Collection::Hybrid(VectorView query, const Predicate& pred,
+                          std::size_t k, std::vector<Neighbor>* out,
+                          ExecStats* stats, const HybridPlan* forced_plan,
+                          const SearchParams* params) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  SearchParams p = params != nullptr ? *params : SearchParams{};
+  p.k = k;
+
+  if (lsm_ != nullptr) {
+    // LSM collections run single-stage filtering through the segments.
+    PredicateIdFilter filter(&pred, &attrs_);
+    p.filter = &filter;
+    p.filter_mode = FilterMode::kVisitFirst;
+    return lsm_->Search(query.data(), p, out,
+                        stats != nullptr ? &stats->search : nullptr);
+  }
+
+  HybridPlan plan;
+  if (forced_plan != nullptr) {
+    plan = *forced_plan;
+  } else if (optimizer_ != nullptr) {
+    VDB_ASSIGN_OR_RETURN(plan, optimizer_->Choose(pred, View(), p));
+    if (stats != nullptr) {
+      auto s = pred.EstimateSelectivity(attrs_);
+      if (s.ok()) stats->est_selectivity = *s;
+    }
+  } else {
+    plan = opts_.predefined_plan;
+    if (index_ == nullptr) plan.kind = PlanKind::kBruteForceHybrid;
+  }
+  HybridExecutor executor(View());
+  return executor.Execute(plan, pred, query.data(), p, out, stats);
+}
+
+Result<HybridPlan> Collection::ExplainHybrid(const Predicate& pred,
+                                             const SearchParams* params) const {
+  SearchParams p = params != nullptr ? *params : SearchParams{};
+  if (optimizer_ == nullptr) return opts_.predefined_plan;
+  return optimizer_->Choose(pred, View(), p);
+}
+
+Status Collection::BatchKnn(const FloatMatrix& queries, std::size_t k,
+                            std::vector<std::vector<Neighbor>>* out,
+                            SearchStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  SearchParams p;
+  p.k = k;
+  // Fast paths need a self-contained monolithic index.
+  const bool clean = lsm_ == nullptr && index_ != nullptr &&
+                     index_tombstones_.empty() &&
+                     indexed_ids_.size() == vectors_.live_count() &&
+                     entity_vectors_.empty();
+  if (clean) {
+    if (auto* ivf = dynamic_cast<const IvfFlatIndex*>(index_.get())) {
+      return ivf->BatchSearch(queries, p, out, stats);
+    }
+    if (auto* hnsw = dynamic_cast<const HnswIndex*>(index_.get())) {
+      return SharedEntryBatch(*hnsw, queries, p, out, stats);
+    }
+  }
+  out->resize(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    VDB_RETURN_IF_ERROR(Knn(queries.row_view(q), k, &(*out)[q], stats));
+  }
+  return Status::Ok();
+}
+
+Status Collection::MultiVectorKnn(const FloatMatrix& query_vectors,
+                                  const Aggregator& agg, std::size_t k,
+                                  std::vector<Neighbor>* out,
+                                  SearchStats* stats) const {
+  if (entity_vectors_.empty()) {
+    return Status::FailedPrecondition("no multi-vector entities");
+  }
+  if (query_vectors.cols() != opts_.dim) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  // Candidate generation through the merged search path, then exact
+  // aggregate re-scoring (see exec/multivector.h for the semantics).
+  std::unordered_set<VectorId> candidates;
+  SearchParams p;
+  p.k = std::max<std::size_t>(k * 4, 8);
+  for (std::size_t qv = 0; qv < query_vectors.rows(); ++qv) {
+    std::vector<Neighbor> hits;
+    VDB_RETURN_IF_ERROR(
+        SearchMerged(query_vectors.row(qv), p, &hits, stats));
+    for (const auto& h : hits) {
+      auto it = entity_of_vector_.find(h.id);
+      if (it != entity_of_vector_.end()) candidates.insert(it->second);
+    }
+  }
+  TopK top(k);
+  std::vector<float> per_query(query_vectors.rows());
+  for (VectorId entity : candidates) {
+    const auto& members = entity_vectors_.at(entity);
+    for (std::size_t qv = 0; qv < query_vectors.rows(); ++qv) {
+      float best = std::numeric_limits<float>::max();
+      for (VectorId vid : members) {
+        const float* vec = vectors_.Get(vid);
+        if (vec == nullptr) continue;
+        float d = scorer_.Distance(query_vectors.row(qv), vec);
+        if (stats != nullptr) ++stats->distance_comps;
+        best = std::min(best, d);
+      }
+      per_query[qv] = best;
+    }
+    top.Push(entity, agg.Combine(per_query));
+  }
+  *out = top.Take();
+  return Status::Ok();
+}
+
+std::size_t Collection::Size() const {
+  return vectors_.live_count() - [this] {
+    std::size_t members = 0;
+    for (const auto& [entity, vids] : entity_vectors_) members += vids.size();
+    return members;
+  }() + entity_vectors_.size();
+}
+
+std::size_t Collection::UnindexedRows() const {
+  if (lsm_ != nullptr || index_ == nullptr) return 0;
+  return vectors_.live_count() - indexed_ids_.size() +
+         index_tombstones_.size();
+}
+
+std::size_t Collection::MemoryBytes() const {
+  std::size_t bytes = vectors_.MemoryBytes();
+  if (index_ != nullptr) bytes += index_->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace vdb

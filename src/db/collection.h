@@ -1,0 +1,195 @@
+#ifndef VDB_DB_COLLECTION_H_
+#define VDB_DB_COLLECTION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "db/embedder.h"
+#include "exec/executor.h"
+#include "exec/multivector.h"
+#include "exec/optimizer.h"
+#include "exec/partitioned_index.h"
+#include "exec/predicate.h"
+#include "storage/attribute_store.h"
+#include "storage/lsm_store.h"
+#include "storage/vector_store.h"
+#include "storage/wal.h"
+
+namespace vdb {
+
+/// Plan-selection policy of a collection (the system archetypes of §2.4:
+/// mostly-vector systems predefine a plan; mostly-mixed systems optimize).
+enum class PlanMode {
+  kCostBased,    ///< AnalyticDB-V / Milvus style linear cost model
+  kRuleBased,    ///< Qdrant / Vespa selectivity thresholds
+  kPredefined,   ///< Vearch / Weaviate style fixed plan
+};
+
+struct CollectionOptions {
+  std::size_t dim = 0;
+  MetricSpec metric = MetricSpec::L2();
+  /// Attribute schema: name -> type.
+  std::vector<std::pair<std::string, AttrType>> attributes;
+
+  /// Builds the secondary search index (BuildIndex / LSM segments).
+  /// Unset: every query brute-forces (the SingleStore §2.4(2) baseline).
+  IndexFactory index_factory;
+
+  /// Optional int64 column for offline attribute partitioning (§2.3(1)).
+  std::string partition_column;
+
+  PlanMode plan_mode = PlanMode::kCostBased;
+  HybridPlan predefined_plan{PlanKind::kPostFilterIndexScan, 3.0f};
+
+  /// Out-of-place updates: vectors live in an LSM store (memtable +
+  /// sealed indexed segments) instead of one monolithic index.
+  bool use_lsm = false;
+  std::size_t lsm_memtable_limit = 2048;
+  std::size_t lsm_compact_at_segments = 6;
+
+  /// Durability: append inserts/deletes to this WAL; Open() replays it.
+  std::string wal_path;
+
+  /// In-database embedding model enabling `InsertText` (indirect
+  /// manipulation, §2.1); its dim must equal `dim`.
+  std::shared_ptr<const Embedder> embedder;
+};
+
+/// Verdict of a (c,k)-search: results plus the achieved approximation
+/// ratio (worst returned distance / exact k-th distance).
+struct CkSearchResult {
+  std::vector<Neighbor> neighbors;
+  double achieved_ratio = 1.0;
+  bool satisfied = true;
+};
+
+/// A named vector collection — the full VDBMS data plane of Figure 1:
+/// vector + attribute storage, a configurable search index, the hybrid
+/// query optimizer/executor, and every query type of §2.1 (k-NN, range,
+/// (c,k)-search, hybrid, batched, multi-vector), with optional WAL
+/// durability and LSM out-of-place updates.
+///
+/// Not thread-safe; external synchronization required for concurrent use
+/// (ShardedCollection provides the parallel read path).
+class Collection {
+ public:
+  static Result<std::unique_ptr<Collection>> Create(CollectionOptions opts);
+  /// Create + replay the WAL at `opts.wal_path` (if any).
+  static Result<std::unique_ptr<Collection>> Open(CollectionOptions opts);
+
+  // ----------------------------------------------------------- mutation
+  Status Insert(VectorId id, VectorView vec,
+                const std::vector<AttrBinding>& attrs = {});
+  /// Indirect manipulation: embeds `text` with the configured embedder.
+  Status InsertText(VectorId id, const std::string& text,
+                    const std::vector<AttrBinding>& attrs = {});
+  /// Registers a multi-vector entity (§2.1): all rows of `vecs` belong to
+  /// entity `entity`. Entity ids and vector ids share one namespace; the
+  /// individual vectors get fresh internal ids.
+  Status InsertEntity(VectorId entity, const FloatMatrix& vecs,
+                      const std::vector<AttrBinding>& attrs = {});
+  Status Delete(VectorId id);
+  Status Upsert(VectorId id, VectorView vec,
+                const std::vector<AttrBinding>& attrs = {});
+
+  /// (Re)builds the search index (and partitioned index) over the current
+  /// live vectors. No-op in LSM mode (segments self-index).
+  Status BuildIndex();
+
+  /// Serializes the data plane (vectors, attributes, multi-vector entity
+  /// maps) to one CRC-guarded snapshot file. Pair with WAL truncation for
+  /// bounded-recovery checkpointing.
+  Status Checkpoint(const std::string& path) const;
+  /// Rebuilds a collection from a `Checkpoint` file, then replays
+  /// `opts.wal_path` (if set) on top — checkpoint + WAL = full recovery.
+  /// Indexes are not part of the snapshot; call BuildIndex() after.
+  static Result<std::unique_ptr<Collection>> Restore(CollectionOptions opts,
+                                                     const std::string& path);
+
+  // ------------------------------------------------------------ queries
+  Status Knn(VectorView query, std::size_t k, std::vector<Neighbor>* out,
+             SearchStats* stats = nullptr,
+             const SearchParams* params = nullptr) const;
+
+  Status RangeSearch(VectorView query, float radius,
+                     std::vector<Neighbor>* out,
+                     SearchStats* stats = nullptr) const;
+
+  /// (c,k)-search (§2.1(2)): ANN with verified approximation factor.
+  /// Escalates search effort until the worst returned distance is within
+  /// factor c of the exact k-th distance (verified by brute force — a
+  /// diagnostic-strength guarantee suited to laptop-scale collections).
+  Result<CkSearchResult> CkSearch(VectorView query, double c, std::size_t k,
+                                  SearchStats* stats = nullptr) const;
+
+  /// Hybrid (predicated) search; the plan comes from the configured
+  /// PlanMode unless `forced_plan` is given.
+  Status Hybrid(VectorView query, const Predicate& pred, std::size_t k,
+                std::vector<Neighbor>* out, ExecStats* stats = nullptr,
+                const HybridPlan* forced_plan = nullptr,
+                const SearchParams* params = nullptr) const;
+
+  /// The plan the optimizer would choose for `pred` (for inspection).
+  Result<HybridPlan> ExplainHybrid(const Predicate& pred,
+                                   const SearchParams* params = nullptr) const;
+
+  Status BatchKnn(const FloatMatrix& queries, std::size_t k,
+                  std::vector<std::vector<Neighbor>>* out,
+                  SearchStats* stats = nullptr) const;
+
+  /// Multi-vector query (§2.1): aggregate score of each entity's vectors.
+  Status MultiVectorKnn(const FloatMatrix& query_vectors,
+                        const Aggregator& agg, std::size_t k,
+                        std::vector<Neighbor>* out,
+                        SearchStats* stats = nullptr) const;
+
+  // --------------------------------------------------------------- info
+  std::size_t Size() const;
+  std::size_t dim() const { return opts_.dim; }
+  const Scorer& scorer() const { return scorer_; }
+  const AttributeStore& attributes() const { return attrs_; }
+  bool HasIndex() const { return index_ != nullptr || lsm_ != nullptr; }
+  /// Rows inserted since the last BuildIndex that only brute-force search
+  /// can see (the freshness delta; LSM mode keeps this at zero).
+  std::size_t UnindexedRows() const;
+  std::size_t MemoryBytes() const;
+
+ private:
+  explicit Collection(CollectionOptions opts) : opts_(std::move(opts)) {}
+
+  Status InsertInternal(VectorId id, const float* vec,
+                        const std::vector<AttrBinding>& attrs, bool log);
+  Status DeleteInternal(VectorId id, bool log);
+  CollectionView View() const;
+  /// Search merging index, unindexed delta, and deletions.
+  Status SearchMerged(const float* query, const SearchParams& params,
+                      std::vector<Neighbor>* out, SearchStats* stats) const;
+
+  CollectionOptions opts_;
+  Scorer scorer_;
+  VectorStore vectors_{0};
+  AttributeStore attrs_;
+  std::unique_ptr<VectorIndex> index_;
+  std::unique_ptr<AttributePartitionedIndex> partitioned_;
+  std::unique_ptr<LsmVectorStore> lsm_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<PlanOptimizer> optimizer_;
+
+  /// Ids present in the monolithic index (labels at last build/Add).
+  std::unordered_set<VectorId> indexed_ids_;
+  /// Ids removed since last build when the index cannot Remove.
+  std::unordered_set<VectorId> index_tombstones_;
+
+  /// Multi-vector bookkeeping: entity -> member vector ids and back.
+  std::unordered_map<VectorId, std::vector<VectorId>> entity_vectors_;
+  std::unordered_map<VectorId, VectorId> entity_of_vector_;
+  VectorId next_internal_id_ = (VectorId{1} << 62);  ///< multi-vector rows
+};
+
+}  // namespace vdb
+
+#endif  // VDB_DB_COLLECTION_H_

@@ -1,0 +1,98 @@
+#ifndef VDB_DB_CONCURRENT_H_
+#define VDB_DB_CONCURRENT_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "db/collection.h"
+
+namespace vdb {
+
+/// Thread-safe facade over a Collection: many concurrent readers, one
+/// writer (std::shared_mutex). Queries take the shared lock; mutations and
+/// index builds take the exclusive lock. This is the single-node
+/// concurrency model of most mostly-vector systems (ShardedCollection
+/// layers cross-shard parallelism on top).
+class ConcurrentCollection {
+ public:
+  static Result<std::unique_ptr<ConcurrentCollection>> Create(
+      CollectionOptions opts) {
+    VDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> inner,
+                         Collection::Create(std::move(opts)));
+    return std::unique_ptr<ConcurrentCollection>(
+        new ConcurrentCollection(std::move(inner)));
+  }
+
+  // ----------------------------------------------------------- mutation
+  Status Insert(VectorId id, VectorView vec,
+                const std::vector<AttrBinding>& attrs = {}) {
+    std::unique_lock lock(mutex_);
+    return inner_->Insert(id, vec, attrs);
+  }
+  Status Delete(VectorId id) {
+    std::unique_lock lock(mutex_);
+    return inner_->Delete(id);
+  }
+  Status Upsert(VectorId id, VectorView vec,
+                const std::vector<AttrBinding>& attrs = {}) {
+    std::unique_lock lock(mutex_);
+    return inner_->Upsert(id, vec, attrs);
+  }
+  Status BuildIndex() {
+    std::unique_lock lock(mutex_);
+    return inner_->BuildIndex();
+  }
+  Status Checkpoint(const std::string& path) {
+    std::shared_lock lock(mutex_);  // checkpoint is a consistent read
+    return inner_->Checkpoint(path);
+  }
+
+  // ------------------------------------------------------------ queries
+  Status Knn(VectorView query, std::size_t k, std::vector<Neighbor>* out,
+             SearchStats* stats = nullptr,
+             const SearchParams* params = nullptr) const {
+    std::shared_lock lock(mutex_);
+    return inner_->Knn(query, k, out, stats, params);
+  }
+  Status RangeSearch(VectorView query, float radius,
+                     std::vector<Neighbor>* out,
+                     SearchStats* stats = nullptr) const {
+    std::shared_lock lock(mutex_);
+    return inner_->RangeSearch(query, radius, out, stats);
+  }
+  Status Hybrid(VectorView query, const Predicate& pred, std::size_t k,
+                std::vector<Neighbor>* out, ExecStats* stats = nullptr,
+                const HybridPlan* forced_plan = nullptr,
+                const SearchParams* params = nullptr) const {
+    std::shared_lock lock(mutex_);
+    return inner_->Hybrid(query, pred, k, out, stats, forced_plan, params);
+  }
+  Status BatchKnn(const FloatMatrix& queries, std::size_t k,
+                  std::vector<std::vector<Neighbor>>* out,
+                  SearchStats* stats = nullptr) const {
+    std::shared_lock lock(mutex_);
+    return inner_->BatchKnn(queries, k, out, stats);
+  }
+
+  std::size_t Size() const {
+    std::shared_lock lock(mutex_);
+    return inner_->Size();
+  }
+
+  /// Unguarded access for setup phases; the caller owns exclusion.
+  Collection& inner() { return *inner_; }
+
+ private:
+  explicit ConcurrentCollection(std::unique_ptr<Collection> inner)
+      : inner_(std::move(inner)) {}
+
+  mutable std::shared_mutex mutex_;
+  std::unique_ptr<Collection> inner_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_DB_CONCURRENT_H_

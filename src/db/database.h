@@ -1,0 +1,57 @@
+#ifndef VDB_DB_DATABASE_H_
+#define VDB_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/collection.h"
+
+namespace vdb {
+
+/// Named-collection registry — the outermost facade of the VDBMS.
+class Database {
+ public:
+  /// Creates (and owns) a collection under `name`.
+  Result<Collection*> CreateCollection(const std::string& name,
+                                       CollectionOptions opts) {
+    if (collections_.contains(name)) {
+      return Status::AlreadyExists("collection exists: " + name);
+    }
+    VDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> collection,
+                         Collection::Create(std::move(opts)));
+    Collection* raw = collection.get();
+    collections_.emplace(name, std::move(collection));
+    return raw;
+  }
+
+  Result<Collection*> GetCollection(const std::string& name) {
+    auto it = collections_.find(name);
+    if (it == collections_.end()) {
+      return Status::NotFound("no collection: " + name);
+    }
+    return it->second.get();
+  }
+
+  Status DropCollection(const std::string& name) {
+    if (collections_.erase(name) == 0) {
+      return Status::NotFound("no collection: " + name);
+    }
+    return Status::Ok();
+  }
+
+  std::vector<std::string> ListCollections() const {
+    std::vector<std::string> names;
+    names.reserve(collections_.size());
+    for (const auto& [name, collection] : collections_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Collection>> collections_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_DB_DATABASE_H_

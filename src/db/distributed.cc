@@ -1,0 +1,189 @@
+#include "db/distributed.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/kmeans.h"
+#include "core/topk.h"
+
+namespace vdb {
+
+Result<std::unique_ptr<ShardedCollection>> ShardedCollection::Create(
+    ShardedOptions opts) {
+  if (opts.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (opts.replicas == 0) {
+    return Status::InvalidArgument("replicas must be >= 1 (the primary)");
+  }
+  if (!opts.collection.wal_path.empty()) {
+    return Status::InvalidArgument("per-shard WAL paths are not supported");
+  }
+  auto sharded =
+      std::unique_ptr<ShardedCollection>(new ShardedCollection(std::move(opts)));
+  sharded->shards_.resize(sharded->opts_.num_shards);
+  for (auto& shard : sharded->shards_) {
+    VDB_ASSIGN_OR_RETURN(shard.primary,
+                         Collection::Create(sharded->opts_.collection));
+    for (std::size_t r = 1; r < sharded->opts_.replicas; ++r) {
+      VDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> replica,
+                           Collection::Create(sharded->opts_.collection));
+      shard.replicas.push_back(std::move(replica));
+    }
+  }
+  return sharded;
+}
+
+Status ShardedCollection::TrainRouter(const FloatMatrix& sample) {
+  if (opts_.policy != ShardingPolicy::kIndexGuided) {
+    return Status::FailedPrecondition("router only used under kIndexGuided");
+  }
+  KMeansOptions km;
+  km.k = shards_.size();
+  km.seed = opts_.seed;
+  VDB_ASSIGN_OR_RETURN(KMeansResult result, KMeans(sample, km));
+  router_centroids_ = std::move(result.centroids);
+  return Status::Ok();
+}
+
+std::size_t ShardedCollection::RouteVector(const float* vec,
+                                           VectorId id) const {
+  if (opts_.policy == ShardingPolicy::kHash || router_centroids_.empty()) {
+    return static_cast<std::size_t>(id * 2654435761ull % shards_.size());
+  }
+  return NearestCentroid(router_centroids_, vec) % shards_.size();
+}
+
+std::vector<std::size_t> ShardedCollection::RouteQuery(
+    const float* query, std::size_t shards_to_probe) const {
+  std::vector<std::size_t> targets;
+  if (opts_.policy == ShardingPolicy::kIndexGuided &&
+      !router_centroids_.empty() && shards_to_probe > 0 &&
+      shards_to_probe < shards_.size()) {
+    auto order = NearestCentroids(router_centroids_, query, shards_to_probe);
+    for (std::uint32_t s : order) targets.push_back(s % shards_.size());
+    return targets;
+  }
+  targets.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) targets[s] = s;
+  return targets;
+}
+
+Status ShardedCollection::Insert(VectorId id, VectorView vec,
+                                 const std::vector<AttrBinding>& attrs) {
+  if (opts_.policy == ShardingPolicy::kIndexGuided &&
+      router_centroids_.empty()) {
+    return Status::FailedPrecondition("TrainRouter before inserting");
+  }
+  Shard& shard = shards_[RouteVector(vec.data(), id)];
+  VDB_RETURN_IF_ERROR(shard.primary->Insert(id, vec, attrs));
+  if (!shard.replicas.empty()) {
+    shard.pending.push_back(
+        {true, id, {vec.begin(), vec.end()}, attrs});
+  }
+  return Status::Ok();
+}
+
+Status ShardedCollection::Delete(VectorId id) {
+  // Without a global id->shard map, try each shard (deletes are rare in
+  // the modeled workloads; a directory is an easy extension).
+  for (auto& shard : shards_) {
+    Status status = shard.primary->Delete(id);
+    if (status.ok()) {
+      if (!shard.replicas.empty()) {
+        shard.pending.push_back({false, id, {}, {}});
+      }
+      return Status::Ok();
+    }
+    if (status.code() != StatusCode::kNotFound) return status;
+  }
+  return Status::NotFound("id not present in any shard");
+}
+
+Status ShardedCollection::BuildIndexes() {
+  for (auto& shard : shards_) {
+    VDB_RETURN_IF_ERROR(shard.primary->BuildIndex());
+    for (auto& replica : shard.replicas) {
+      if (replica->Size() > 0) VDB_RETURN_IF_ERROR(replica->BuildIndex());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedCollection::Knn(VectorView query, std::size_t k,
+                              std::vector<Neighbor>* out, SearchStats* stats,
+                              bool parallel, bool read_replicas,
+                              std::size_t shards_to_probe,
+                              const SearchParams* params) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  auto targets = RouteQuery(query.data(), shards_to_probe);
+
+  std::vector<std::vector<Neighbor>> parts(targets.size());
+  std::vector<SearchStats> part_stats(targets.size());
+  std::vector<Status> statuses(targets.size());
+
+  auto run = [&](std::size_t t) {
+    const Shard& shard = shards_[targets[t]];
+    const Collection* reader = shard.primary.get();
+    if (read_replicas && !shard.replicas.empty()) {
+      reader = shard.replicas[replica_rr_.fetch_add(1) %
+                              shard.replicas.size()]
+                   .get();
+    }
+    if (reader->Size() == 0) {
+      statuses[t] = Status::Ok();  // empty shard contributes nothing
+      return;
+    }
+    statuses[t] = reader->Knn(query, k, &parts[t], &part_stats[t], params);
+  };
+
+  if (parallel && targets.size() > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(targets.size());
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      workers.emplace_back(run, t);
+    }
+    for (auto& w : workers) w.join();
+  } else {
+    for (std::size_t t = 0; t < targets.size(); ++t) run(t);
+  }
+
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    VDB_RETURN_IF_ERROR(statuses[t]);
+    if (stats != nullptr) *stats += part_stats[t];
+  }
+  *out = MergeTopK(parts, k);
+  return Status::Ok();
+}
+
+Status ShardedCollection::SyncReplicas() {
+  for (auto& shard : shards_) {
+    while (!shard.pending.empty()) {
+      const PendingOp& op = shard.pending.front();
+      for (auto& replica : shard.replicas) {
+        if (op.is_insert) {
+          VDB_RETURN_IF_ERROR(replica->Insert(
+              op.id, {op.vec.data(), op.vec.size()}, op.attrs));
+        } else {
+          VDB_RETURN_IF_ERROR(replica->Delete(op.id));
+        }
+      }
+      shard.pending.pop_front();
+    }
+  }
+  return Status::Ok();
+}
+
+std::size_t ShardedCollection::PendingReplicaOps() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.pending.size();
+  return total;
+}
+
+std::size_t ShardedCollection::Size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.primary->Size();
+  return total;
+}
+
+}  // namespace vdb

@@ -1,0 +1,97 @@
+#ifndef VDB_DB_DISTRIBUTED_H_
+#define VDB_DB_DISTRIBUTED_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "db/collection.h"
+
+namespace vdb {
+
+/// How vectors are assigned to shards (paper §2.3(2)): uniform hashing, or
+/// index-guided placement (k-means router) which co-locates similar
+/// vectors so queries can prune to the nearest shards.
+enum class ShardingPolicy {
+  kHash,
+  kIndexGuided,
+};
+
+struct ShardedOptions {
+  std::size_t num_shards = 4;
+  /// Total copies of each shard (1 = primary only). Replicas receive
+  /// updates asynchronously (out-of-place, §2.3(3)): writes enqueue and
+  /// apply on SyncReplicas().
+  std::size_t replicas = 1;
+  ShardingPolicy policy = ShardingPolicy::kHash;
+  /// Per-shard collection template (WAL paths are not replicated; leave
+  /// `wal_path` empty here).
+  CollectionOptions collection;
+  std::uint64_t seed = 42;
+};
+
+/// Distributed search simulation: a sharded, replicated collection with
+/// scatter-gather k-NN (paper §2.3(2)). Shards are searched in parallel
+/// with std::thread; replica reads observe asynchronous-update staleness.
+class ShardedCollection {
+ public:
+  static Result<std::unique_ptr<ShardedCollection>> Create(
+      ShardedOptions opts);
+
+  /// Index-guided policy: learns the k-means shard router from a sample.
+  /// Must run before the first insert under kIndexGuided.
+  Status TrainRouter(const FloatMatrix& sample);
+
+  Status Insert(VectorId id, VectorView vec,
+                const std::vector<AttrBinding>& attrs = {});
+  Status Delete(VectorId id);
+  Status BuildIndexes();
+
+  /// Scatter-gather k-NN.
+  ///   `parallel`      — one thread per contacted shard;
+  ///   `read_replicas` — round-robin over replicas (stale until synced);
+  ///   `shards_to_probe` — under kIndexGuided, contact only this many
+  ///                        nearest shards (0 = all).
+  Status Knn(VectorView query, std::size_t k, std::vector<Neighbor>* out,
+             SearchStats* stats = nullptr, bool parallel = true,
+             bool read_replicas = false, std::size_t shards_to_probe = 0,
+             const SearchParams* params = nullptr) const;
+
+  /// Applies all queued updates to every replica.
+  Status SyncReplicas();
+  std::size_t PendingReplicaOps() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t Size() const;
+
+ private:
+  explicit ShardedCollection(ShardedOptions opts) : opts_(std::move(opts)) {}
+
+  std::size_t RouteVector(const float* vec, VectorId id) const;
+  std::vector<std::size_t> RouteQuery(const float* query,
+                                      std::size_t shards_to_probe) const;
+
+  struct PendingOp {
+    bool is_insert;
+    VectorId id;
+    std::vector<float> vec;
+    std::vector<AttrBinding> attrs;
+  };
+  struct Shard {
+    std::unique_ptr<Collection> primary;
+    std::vector<std::unique_ptr<Collection>> replicas;
+    std::deque<PendingOp> pending;  ///< queued replica updates
+  };
+
+  ShardedOptions opts_;
+  std::vector<Shard> shards_;
+  FloatMatrix router_centroids_;  ///< kIndexGuided: num_shards x dim
+  /// Round-robin replica cursor; atomic because parallel scatter threads
+  /// advance it concurrently.
+  mutable std::atomic<std::size_t> replica_rr_{0};
+};
+
+}  // namespace vdb
+
+#endif  // VDB_DB_DISTRIBUTED_H_

@@ -1,0 +1,59 @@
+#include "db/embedder.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace vdb {
+
+namespace {
+
+std::uint64_t HashString(const std::string& s, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void HashingNgramEmbedder::AddFeature(const std::string& token,
+                                      std::vector<float>* out) const {
+  std::uint64_t h = HashString(token, seed_);
+  std::size_t bucket = h % dim_;
+  float sign = (h >> 63) ? 1.0f : -1.0f;
+  (*out)[bucket] += sign;
+}
+
+std::vector<float> HashingNgramEmbedder::Embed(const std::string& text) const {
+  std::vector<float> out(dim_, 0.0f);
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    AddFeature(tokens[i], &out);
+    if (i + 1 < tokens.size()) {
+      AddFeature(tokens[i] + "_" + tokens[i + 1], &out);
+    }
+  }
+  double norm = 0.0;
+  for (float v : out) norm += static_cast<double>(v) * v;
+  if (norm > 0.0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& v : out) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace vdb

@@ -1,0 +1,46 @@
+#ifndef VDB_DB_EMBEDDER_H_
+#define VDB_DB_EMBEDDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace vdb {
+
+/// Embedding-model interface (paper §2.1 "Data Manipulation"): under
+/// *indirect* manipulation the VDBMS owns the model and users insert
+/// entities (here: text); under *direct* manipulation users bring their
+/// own vectors and skip this interface entirely.
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+  virtual std::size_t dim() const = 0;
+  /// Embeds `text` into a vector of `dim()` floats.
+  virtual std::vector<float> Embed(const std::string& text) const = 0;
+};
+
+/// Deterministic hashing n-gram embedder: lowercased alphanumeric tokens
+/// and their bigrams are feature-hashed into `dim` signed buckets, then
+/// L2-normalized. A stand-in for a learned text encoder (see DESIGN.md §3
+/// "Substitutions"): it preserves the only property the VDBMS depends on —
+/// lexically similar entities land near each other.
+class HashingNgramEmbedder final : public Embedder {
+ public:
+  explicit HashingNgramEmbedder(std::size_t dim, std::uint64_t seed = 42)
+      : dim_(dim), seed_(seed) {}
+
+  std::size_t dim() const override { return dim_; }
+  std::vector<float> Embed(const std::string& text) const override;
+
+ private:
+  void AddFeature(const std::string& token, std::vector<float>* out) const;
+
+  std::size_t dim_;
+  std::uint64_t seed_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_DB_EMBEDDER_H_

@@ -1,0 +1,52 @@
+#ifndef VDB_DB_QUERY_LANGUAGE_H_
+#define VDB_DB_QUERY_LANGUAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "exec/predicate.h"
+
+namespace vdb {
+
+/// SQL-style vector query interface (paper §2.1 "Query Interfaces": VDBMSs
+/// with wide query support "may rely on SQL extensions"; §2.4(2) extended
+/// relational systems expose vector search through the SQL surface, as in
+/// PASE / pgvector). The dialect:
+///
+///   SELECT knn(k) FROM <collection>
+///     [WHERE <predicate>]
+///     ORDER BY distance([v1, v2, ...])
+///
+/// with predicates over the collection's attributes:
+///
+///   col = 3            col != 'red'        col < 4.5
+///   col <= 7           col > 1             col >= 0
+///   col BETWEEN 1 AND 9
+///   col IN (1, 2, 3)   col IN ('a', 'b')
+///   <p> AND <p>        <p> OR <p>          NOT <p>        ( <p> )
+///
+/// Literals: integers, floats (any '.'-containing number), and
+/// single-quoted strings ('' escapes a quote). Keywords are
+/// case-insensitive; identifiers are case-sensitive.
+struct ParsedQuery {
+  std::string collection;
+  std::size_t k = 10;
+  std::vector<float> query_vector;
+  Predicate predicate;  ///< Predicate::True() when no WHERE clause
+  bool has_predicate = false;
+};
+
+/// Parses the dialect above; errors carry position context.
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Parses and executes against `db` (hybrid path when a WHERE clause is
+/// present, plain k-NN otherwise). The relational-optimizer analogy of
+/// §2.4(2): the collection's configured plan optimizer picks the plan.
+Result<std::vector<Neighbor>> ExecuteQuery(Database* db,
+                                           const std::string& text,
+                                           ExecStats* stats = nullptr);
+
+}  // namespace vdb
+
+#endif  // VDB_DB_QUERY_LANGUAGE_H_

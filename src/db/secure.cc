@@ -1,0 +1,40 @@
+#include "db/secure.h"
+
+#include "core/linalg.h"
+#include "core/rng.h"
+
+namespace vdb {
+
+Result<SecureL2Transform> SecureL2Transform::Generate(std::size_t dim,
+                                                      std::uint64_t seed) {
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  SecureL2Transform transform;
+  transform.dim_ = dim;
+  Rng rng(seed);
+  transform.rotation_ = linalg::RandomOrthonormal(dim, &rng);
+  transform.offset_.resize(dim);
+  for (auto& t : transform.offset_) t = 10.0f * rng.NextGaussian();
+  return transform;
+}
+
+std::vector<float> SecureL2Transform::Encrypt(VectorView x) const {
+  std::vector<float> centered(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) centered[j] = x[j] - offset_[j];
+  std::vector<float> out(dim_);
+  linalg::MatVec(rotation_, centered.data(), out.data());
+  return out;
+}
+
+std::vector<float> SecureL2Transform::Decrypt(VectorView y) const {
+  std::vector<float> out(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i) {
+      acc += rotation_.at(i, j) * y[i];  // Q^T y
+    }
+    out[j] = static_cast<float>(acc) + offset_[j];
+  }
+  return out;
+}
+
+}  // namespace vdb

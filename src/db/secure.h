@@ -1,0 +1,54 @@
+#ifndef VDB_DB_SECURE_H_
+#define VDB_DB_SECURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Secure k-NN support (paper §2.6(4): managed multi-tenant VDBMSs "need
+/// techniques that can support private and secure vector operations, such
+/// as secure k-NN search").
+///
+/// Implements the classic distance-preserving transformation scheme (in
+/// the ASPE family): the data owner keeps a secret rigid motion
+/// (orthonormal rotation Q and translation t) and uploads only
+/// y = Q (x - t) to the untrusted server. Because rigid motions are L2
+/// isometries, every pairwise distance — and therefore every k-NN result,
+/// every index structure, every plan — is exactly preserved, while the
+/// server never sees a raw embedding.
+///
+/// Leakage (by design, inherent to distance-preserving schemes): the
+/// dimensionality and all pairwise distances are visible to the server;
+/// an adversary with enough known plaintext pairs can mount geometric
+/// attacks. This models the survey's baseline technique, not a
+/// state-of-the-art cryptographic guarantee.
+class SecureL2Transform {
+ public:
+  /// Samples a fresh secret (rotation + translation) for `dim`-d vectors.
+  static Result<SecureL2Transform> Generate(std::size_t dim,
+                                            std::uint64_t seed);
+
+  std::size_t dim() const { return dim_; }
+
+  /// Server-side representation of a data or query vector: Q (x - t).
+  std::vector<float> Encrypt(VectorView x) const;
+
+  /// Inverse: x = Q^T y + t (the owner recovering a stored vector).
+  std::vector<float> Decrypt(VectorView y) const;
+
+  /// Empty (unusable) transform; obtain real ones via Generate.
+  SecureL2Transform() = default;
+
+ private:
+  std::size_t dim_ = 0;
+  FloatMatrix rotation_;        ///< Q, orthonormal rows
+  std::vector<float> offset_;   ///< t
+};
+
+}  // namespace vdb
+
+#endif  // VDB_DB_SECURE_H_

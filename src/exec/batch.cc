@@ -1,0 +1,80 @@
+#include "exec/batch.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/simd.h"
+
+namespace vdb {
+
+Status SequentialBatch(const VectorIndex& index, const FloatMatrix& queries,
+                       const SearchParams& params,
+                       std::vector<std::vector<Neighbor>>* out,
+                       SearchStats* stats) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  out->resize(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    VDB_RETURN_IF_ERROR(index.Search(queries.row(q), params, &(*out)[q], stats));
+  }
+  return Status::Ok();
+}
+
+Status SharedEntryBatch(const HnswIndex& index, const FloatMatrix& queries,
+                        const SearchParams& params,
+                        std::vector<std::vector<Neighbor>>* out,
+                        SearchStats* stats) {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  const std::size_t nq = queries.rows();
+  out->assign(nq, {});
+  if (nq == 0) return Status::Ok();
+
+  // Greedy nearest-neighbor chain over the query set: start anywhere, then
+  // repeatedly jump to the unprocessed query closest to the current one.
+  // O(nq^2) on the (small) batch, paid once to maximize entry-hint reuse.
+  const std::size_t dim = queries.cols();
+  std::vector<std::size_t> order;
+  order.reserve(nq);
+  std::vector<bool> used(nq, false);
+  std::size_t current = 0;
+  used[0] = true;
+  order.push_back(0);
+  for (std::size_t step = 1; step < nq; ++step) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t arg = 0;
+    for (std::size_t q = 0; q < nq; ++q) {
+      if (used[q]) continue;
+      double d = simd::L2Sq(queries.row(current), queries.row(q), dim);
+      if (d < best) {
+        best = d;
+        arg = q;
+      }
+    }
+    used[arg] = true;
+    order.push_back(arg);
+    current = arg;
+  }
+
+  // First query pays the full hierarchical search; each subsequent one
+  // enters at the previous result's nearest hit.
+  VectorId hint = kInvalidVectorId;
+  for (std::size_t pos = 0; pos < nq; ++pos) {
+    std::size_t q = order[pos];
+    Status status;
+    if (hint == kInvalidVectorId) {
+      status = index.Search(queries.row(q), params, &(*out)[q], stats);
+    } else {
+      status = index.SearchWithEntryHint(queries.row(q), hint, params,
+                                         &(*out)[q], stats);
+      if (!status.ok()) {
+        // Hint vanished (e.g., deleted): fall back to a full search.
+        status = index.Search(queries.row(q), params, &(*out)[q], stats);
+      }
+    }
+    VDB_RETURN_IF_ERROR(status);
+    if (!(*out)[q].empty()) hint = (*out)[q].front().id;
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb

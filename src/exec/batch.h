@@ -1,0 +1,37 @@
+#ifndef VDB_EXEC_BATCH_H_
+#define VDB_EXEC_BATCH_H_
+
+#include <vector>
+
+#include "index/hnsw.h"
+#include "index/ivf.h"
+#include "index/index.h"
+
+namespace vdb {
+
+/// Batched query execution (paper §2.1 "batched queries"; §2.3 notes that
+/// "several techniques exploit commonalities between the queries"). Two
+/// concrete exploits are implemented:
+///   - IVF bucket-major scanning (IvfFlatIndex::BatchSearch);
+///   - HNSW shared entry points: queries are greedily ordered by
+///     similarity and each one enters layer 0 at the previous query's best
+///     hit, skipping the hierarchy descent.
+/// `SequentialBatch` is the baseline both are measured against (E6).
+
+/// Baseline: independent searches, one per query row.
+Status SequentialBatch(const VectorIndex& index, const FloatMatrix& queries,
+                       const SearchParams& params,
+                       std::vector<std::vector<Neighbor>>* out,
+                       SearchStats* stats = nullptr);
+
+/// Shared-entry batch over an HNSW index. Queries are reordered internally
+/// by a greedy nearest-neighbor chain (results are returned in the input
+/// order regardless).
+Status SharedEntryBatch(const HnswIndex& index, const FloatMatrix& queries,
+                        const SearchParams& params,
+                        std::vector<std::vector<Neighbor>>* out,
+                        SearchStats* stats = nullptr);
+
+}  // namespace vdb
+
+#endif  // VDB_EXEC_BATCH_H_

@@ -1,0 +1,105 @@
+#include "exec/executor.h"
+
+#include "core/topk.h"
+
+namespace vdb {
+
+Status HybridExecutor::BruteForce(const Predicate& pred, const float* query,
+                                  const SearchParams& params,
+                                  std::vector<Neighbor>* out,
+                                  ExecStats* stats) const {
+  VDB_ASSIGN_OR_RETURN(Bitset bits, pred.Evaluate(*view_.attrs));
+  if (stats != nullptr) {
+    stats->bitmask_rows += view_.attrs->NumRows();
+    stats->matching_rows += bits.Count();
+  }
+  TopK top(params.k);
+  for (VectorId id : view_.vectors->LiveIds()) {
+    if (id < bits.size() && !bits.Test(static_cast<std::size_t>(id))) continue;
+    const float* vec = view_.vectors->Get(id);
+    float dist = view_.scorer->Distance(query, vec);
+    if (stats != nullptr) ++stats->search.distance_comps;
+    top.Push(id, dist);
+  }
+  *out = top.Take();
+  return Status::Ok();
+}
+
+Status HybridExecutor::Execute(const HybridPlan& plan, const Predicate& pred,
+                               const float* query, const SearchParams& params,
+                               std::vector<Neighbor>* out,
+                               ExecStats* stats) const {
+  if (view_.vectors == nullptr || view_.scorer == nullptr ||
+      view_.attrs == nullptr) {
+    return Status::FailedPrecondition("incomplete collection view");
+  }
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  out->clear();
+
+  switch (plan.kind) {
+    case PlanKind::kBruteForceHybrid:
+      return BruteForce(pred, query, params, out, stats);
+
+    case PlanKind::kPreFilterIndexScan: {
+      if (view_.index == nullptr) {
+        return Status::FailedPrecondition("plan requires an index");
+      }
+      VDB_ASSIGN_OR_RETURN(Bitset bits, pred.Evaluate(*view_.attrs));
+      if (stats != nullptr) {
+        stats->bitmask_rows += view_.attrs->NumRows();
+        stats->matching_rows += bits.Count();
+      }
+      BitsetIdFilter filter(&bits);
+      SearchParams p = params;
+      p.filter = &filter;
+      p.filter_mode = FilterMode::kBlockFirst;
+      return view_.index->Search(query, p, out,
+                                 stats != nullptr ? &stats->search : nullptr);
+    }
+
+    case PlanKind::kPostFilterIndexScan: {
+      if (view_.index == nullptr) {
+        return Status::FailedPrecondition("plan requires an index");
+      }
+      PredicateIdFilter filter(&pred, view_.attrs);
+      SearchParams p = params;
+      p.filter = &filter;
+      p.filter_mode = FilterMode::kPostFilter;
+      p.post_filter_amplification = plan.amplification;
+      return view_.index->Search(query, p, out,
+                                 stats != nullptr ? &stats->search : nullptr);
+    }
+
+    case PlanKind::kVisitFirstIndexScan: {
+      if (view_.index == nullptr) {
+        return Status::FailedPrecondition("plan requires an index");
+      }
+      PredicateIdFilter filter(&pred, view_.attrs);
+      SearchParams p = params;
+      p.filter = &filter;
+      p.filter_mode = FilterMode::kVisitFirst;
+      return view_.index->Search(query, p, out,
+                                 stats != nullptr ? &stats->search : nullptr);
+    }
+
+    case PlanKind::kPartitionPruned: {
+      if (view_.partitioned == nullptr) {
+        return Status::FailedPrecondition("plan requires a partitioned index");
+      }
+      std::string column;
+      AttrValue value;
+      if (!pred.AsSingleEquality(&column, &value) ||
+          column != view_.partitioned->column() ||
+          TypeOf(value) != AttrType::kInt64) {
+        return Status::InvalidArgument(
+            "partition-pruned plan needs `partition_column = <int>`");
+      }
+      return view_.partitioned->Search(
+          std::get<std::int64_t>(value), query, params, out,
+          stats != nullptr ? &stats->search : nullptr);
+    }
+  }
+  return Status::Internal("bad plan kind");
+}
+
+}  // namespace vdb

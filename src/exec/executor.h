@@ -1,0 +1,48 @@
+#ifndef VDB_EXEC_EXECUTOR_H_
+#define VDB_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/distance.h"
+#include "exec/partitioned_index.h"
+#include "exec/plan.h"
+#include "exec/predicate.h"
+#include "index/index.h"
+#include "storage/attribute_store.h"
+#include "storage/vector_store.h"
+
+namespace vdb {
+
+/// Read-only handles to everything a hybrid plan may touch. Null members
+/// simply remove the corresponding plans from the search space.
+struct CollectionView {
+  const VectorStore* vectors = nullptr;       ///< required
+  const AttributeStore* attrs = nullptr;      ///< required for predicates
+  const VectorIndex* index = nullptr;         ///< enables index plans
+  const AttributePartitionedIndex* partitioned = nullptr;  ///< offline blocking
+  const Scorer* scorer = nullptr;             ///< required
+};
+
+/// Executes a chosen hybrid plan against a collection snapshot — the
+/// "Query Executor" box of Figure 1 specialized to predicated k-NN.
+class HybridExecutor {
+ public:
+  explicit HybridExecutor(const CollectionView& view) : view_(view) {}
+
+  /// Runs `plan` for `query` under `pred`. `params.filter/filter_mode` are
+  /// overwritten by the plan's strategy.
+  Status Execute(const HybridPlan& plan, const Predicate& pred,
+                 const float* query, const SearchParams& params,
+                 std::vector<Neighbor>* out, ExecStats* stats = nullptr) const;
+
+ private:
+  Status BruteForce(const Predicate& pred, const float* query,
+                    const SearchParams& params, std::vector<Neighbor>* out,
+                    ExecStats* stats) const;
+
+  CollectionView view_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_EXEC_EXECUTOR_H_

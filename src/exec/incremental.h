@@ -1,0 +1,93 @@
+#ifndef VDB_EXEC_INCREMENTAL_H_
+#define VDB_EXEC_INCREMENTAL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "index/index.h"
+
+namespace vdb {
+
+/// Incremental k-NN search (paper §2.6(5): "applications such as
+/// e-commerce rely on incremental search, where the result set is
+/// seamlessly fetched in parts ... it is unclear how to support this
+/// within vector indexes").
+///
+/// Strategy implemented here: escalating-effort re-query. The stream keeps
+/// a cursor over an internally maintained result prefix; when the consumer
+/// outruns it, the underlying index is re-queried with a doubled k (and
+/// proportionally raised ef) and the fresh, strictly-larger prefix
+/// replaces the buffer. Already-emitted ids stay stable: results are
+/// emitted in first-seen order and never retracted, so consumers can
+/// paginate without deduplicating.
+///
+/// Exactness matches the underlying index per page: on FlatIndex the
+/// stream is the exact distance-ordered enumeration of the collection.
+class IncrementalSearch {
+ public:
+  /// `base` supplies the filter and family knobs; `base.k`/`base.ef` are
+  /// managed by the stream.
+  IncrementalSearch(const VectorIndex* index, std::vector<float> query,
+                    SearchParams base = {})
+      : index_(index), query_(std::move(query)), base_(base) {}
+
+  /// Appends up to `count` further neighbors to `out` (fewer only when
+  /// the collection is exhausted under the active filter).
+  Status Next(std::size_t count, std::vector<Neighbor>* out,
+              SearchStats* stats = nullptr) {
+    if (out == nullptr) return Status::InvalidArgument("out must not be null");
+    out->clear();
+    while (out->size() < count) {
+      if (cursor_ == buffer_.size()) {
+        if (exhausted_) break;
+        VDB_RETURN_IF_ERROR(Refill(cursor_ + (count - out->size()), stats));
+        if (cursor_ == buffer_.size()) break;
+      }
+      out->push_back(buffer_[cursor_++]);
+    }
+    return Status::Ok();
+  }
+
+  /// Total neighbors emitted so far.
+  std::size_t fetched() const { return cursor_; }
+
+ private:
+  Status Refill(std::size_t needed, SearchStats* stats) {
+    std::size_t target = std::max<std::size_t>(needed, 16);
+    while (true) {
+      SearchParams params = base_;
+      params.k = target;
+      // Keep the beam at least as wide as the ask so graph indexes keep
+      // their accuracy as the stream deepens.
+      params.ef = std::max<int>(base_.ef, static_cast<int>(2 * target));
+      std::vector<Neighbor> fresh;
+      VDB_RETURN_IF_ERROR(index_->Search(query_.data(), params, &fresh, stats));
+      MergeFresh(fresh);
+      if (fresh.size() < target) {
+        exhausted_ = true;  // the index has no more admissible results
+        return Status::Ok();
+      }
+      if (buffer_.size() >= needed) return Status::Ok();
+      target *= 2;
+    }
+  }
+
+  /// Appends results not yet in the buffer, preserving emitted order.
+  void MergeFresh(const std::vector<Neighbor>& fresh) {
+    for (const auto& nb : fresh) {
+      if (in_buffer_.insert(nb.id).second) buffer_.push_back(nb);
+    }
+  }
+
+  const VectorIndex* index_;
+  std::vector<float> query_;
+  SearchParams base_;
+  std::vector<Neighbor> buffer_;
+  std::unordered_set<VectorId> in_buffer_;
+  std::size_t cursor_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_EXEC_INCREMENTAL_H_

@@ -1,0 +1,72 @@
+#include "exec/multivector.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/topk.h"
+
+namespace vdb {
+
+float MultiVectorSearcher::Score(const FloatMatrix& query_vectors,
+                                 const Aggregator& agg, VectorId entity,
+                                 SearchStats* stats) const {
+  std::vector<VectorView> entity_vectors = vectors_of_(entity);
+  if (entity_vectors.empty()) return std::numeric_limits<float>::infinity();
+  std::vector<float> per_query(query_vectors.rows());
+  for (std::size_t qv = 0; qv < query_vectors.rows(); ++qv) {
+    float best = std::numeric_limits<float>::max();
+    for (const auto& ev : entity_vectors) {
+      float d = scorer_->Distance(query_vectors.row(qv), ev.data());
+      if (stats != nullptr) ++stats->distance_comps;
+      best = std::min(best, d);
+    }
+    per_query[qv] = best;
+  }
+  return agg.Combine(per_query);
+}
+
+Status MultiVectorSearcher::Search(const FloatMatrix& query_vectors,
+                                   const Aggregator& agg, std::size_t k,
+                                   const SearchParams& params,
+                                   std::vector<Neighbor>* out,
+                                   SearchStats* stats,
+                                   std::size_t candidate_factor) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  if (query_vectors.empty()) {
+    return Status::InvalidArgument("no query vectors");
+  }
+  // Stage 1: per-query-vector candidate generation through the index.
+  std::unordered_set<VectorId> entities;
+  SearchParams inner = params;
+  inner.k = std::max<std::size_t>(k * candidate_factor, k);
+  for (std::size_t qv = 0; qv < query_vectors.rows(); ++qv) {
+    std::vector<Neighbor> hits;
+    VDB_RETURN_IF_ERROR(
+        index_->Search(query_vectors.row(qv), inner, &hits, stats));
+    for (const auto& h : hits) entities.insert(entity_of_(h.id));
+  }
+  // Stage 2: exact aggregate re-scoring of the candidate entities.
+  TopK top(k);
+  for (VectorId entity : entities) {
+    top.Push(entity, Score(query_vectors, agg, entity, stats));
+  }
+  *out = top.Take();
+  return Status::Ok();
+}
+
+Status MultiVectorSearcher::Exact(const FloatMatrix& query_vectors,
+                                  const Aggregator& agg,
+                                  std::span<const VectorId> entities,
+                                  std::size_t k, std::vector<Neighbor>* out,
+                                  SearchStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  TopK top(k);
+  for (VectorId entity : entities) {
+    top.Push(entity, Score(query_vectors, agg, entity, stats));
+  }
+  *out = top.Take();
+  return Status::Ok();
+}
+
+}  // namespace vdb

@@ -1,0 +1,62 @@
+#ifndef VDB_EXEC_MULTIVECTOR_H_
+#define VDB_EXEC_MULTIVECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/distance.h"
+#include "index/index.h"
+
+namespace vdb {
+
+/// Multi-vector queries (paper §2.1 "Query Variants", §2.6(6)): the query
+/// and/or each entity is represented by several feature vectors; entity
+/// scores are aggregate scores over the pairwise distances.
+///
+/// Semantics implemented here: for query vector q_i, the per-query-vector
+/// score of entity e is min over e's vectors of dist(q_i, v) (best-match
+/// semantics, the multi-vector retrieval standard); the per-entity score
+/// aggregates those per-query-vector scores with the chosen Aggregator.
+class MultiVectorSearcher {
+ public:
+  /// Maps a vector label (as stored in the index) to its owning entity.
+  using EntityOf = std::function<VectorId(VectorId)>;
+  /// All vectors of an entity.
+  using VectorsOf = std::function<std::vector<VectorView>(VectorId)>;
+
+  MultiVectorSearcher(const VectorIndex* index, const Scorer* scorer,
+                      EntityOf entity_of, VectorsOf vectors_of)
+      : index_(index),
+        scorer_(scorer),
+        entity_of_(std::move(entity_of)),
+        vectors_of_(std::move(vectors_of)) {}
+
+  /// Approximate search: each query vector retrieves
+  /// `candidate_factor * k` vectors from the index; the union of owning
+  /// entities is re-scored exactly with the aggregate. Results are
+  /// (entity id, aggregate distance), ascending.
+  Status Search(const FloatMatrix& query_vectors, const Aggregator& agg,
+                std::size_t k, const SearchParams& params,
+                std::vector<Neighbor>* out, SearchStats* stats = nullptr,
+                std::size_t candidate_factor = 4) const;
+
+  /// Exact oracle: aggregate-scores every entity in `entities`.
+  Status Exact(const FloatMatrix& query_vectors, const Aggregator& agg,
+               std::span<const VectorId> entities, std::size_t k,
+               std::vector<Neighbor>* out, SearchStats* stats = nullptr) const;
+
+  /// Aggregate distance of one entity against the query vectors.
+  float Score(const FloatMatrix& query_vectors, const Aggregator& agg,
+              VectorId entity, SearchStats* stats = nullptr) const;
+
+ private:
+  const VectorIndex* index_;
+  const Scorer* scorer_;
+  EntityOf entity_of_;
+  VectorsOf vectors_of_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_EXEC_MULTIVECTOR_H_

@@ -1,0 +1,191 @@
+#include "index/diskann.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "core/topk.h"
+
+namespace vdb {
+
+Status DiskAnnIndex::Build(const FloatMatrix& data,
+                           std::span<const VectorId> ids) {
+  if (data.empty()) return Status::InvalidArgument("empty build data");
+  if (opts_.vamana.metric.metric != Metric::kL2) {
+    return Status::InvalidArgument("diskann supports the L2 metric only");
+  }
+  dim_ = data.cols();
+  VDB_ASSIGN_OR_RETURN(scorer_, Scorer::Create(opts_.vamana.metric, dim_));
+
+  // Node block: [uint32 degree][R x uint32 neighbors][dim x float vector].
+  node_stride_ = sizeof(std::uint32_t) * (1 + opts_.vamana.r) +
+                 sizeof(float) * dim_;
+  if (node_stride_ > opts_.file.page_size) {
+    return Status::InvalidArgument(
+        "node block exceeds page size; lower R or raise page_size");
+  }
+  nodes_per_page_ = opts_.file.page_size / node_stride_;
+
+  // 1. In-memory Vamana construction.
+  VamanaIndex vamana(opts_.vamana);
+  VDB_RETURN_IF_ERROR(vamana.Build(data, ids));
+  medoid_ = vamana.medoid();
+
+  labels_.resize(data.rows());
+  id_to_idx_.clear();
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    labels_[i] = ids.empty() ? static_cast<VectorId>(i) : ids[i];
+    id_to_idx_[labels_[i]] = static_cast<std::uint32_t>(i);
+  }
+  deleted_ = Bitset(data.rows());
+  live_count_ = data.rows();
+
+  // 2. In-memory PQ navigation codes over the raw vectors.
+  pq_ = ProductQuantizer(opts_.pq);
+  VDB_RETURN_IF_ERROR(pq_.Train(data));
+  codes_.resize(data.rows() * pq_.code_size());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    pq_.Encode(data.row(i), codes_.data() + i * pq_.code_size());
+  }
+
+  // 3. Serialize node blocks.
+  VDB_ASSIGN_OR_RETURN(file_, PagedFile::Create(path_, opts_.file));
+  const auto& adjacency = vamana.adjacency();
+  std::vector<std::uint8_t> page(opts_.file.page_size, 0);
+  std::uint64_t num_pages =
+      (data.rows() + nodes_per_page_ - 1) / nodes_per_page_;
+  for (std::uint64_t p = 0; p < num_pages; ++p) {
+    std::fill(page.begin(), page.end(), 0);
+    for (std::size_t slot = 0; slot < nodes_per_page_; ++slot) {
+      std::size_t node = p * nodes_per_page_ + slot;
+      if (node >= data.rows()) break;
+      std::uint8_t* at = page.data() + slot * node_stride_;
+      std::uint32_t degree = static_cast<std::uint32_t>(
+          std::min(adjacency[node].size(), opts_.vamana.r));
+      std::memcpy(at, &degree, sizeof(degree));
+      at += sizeof(degree);
+      std::memcpy(at, adjacency[node].data(),
+                  degree * sizeof(std::uint32_t));
+      at += opts_.vamana.r * sizeof(std::uint32_t);
+      std::memcpy(at, data.row(node), dim_ * sizeof(float));
+    }
+    VDB_RETURN_IF_ERROR(file_->WritePage(p, page.data()));
+  }
+  file_->ResetCounters();
+  return Status::Ok();
+}
+
+Status DiskAnnIndex::ReadNode(std::uint32_t idx, NodeBlock* node) const {
+  std::vector<std::uint8_t> page(opts_.file.page_size);
+  VDB_RETURN_IF_ERROR(file_->ReadPage(idx / nodes_per_page_, page.data()));
+  const std::uint8_t* at =
+      page.data() + (idx % nodes_per_page_) * node_stride_;
+  std::uint32_t degree;
+  std::memcpy(&degree, at, sizeof(degree));
+  at += sizeof(degree);
+  node->neighbors.resize(degree);
+  std::memcpy(node->neighbors.data(), at, degree * sizeof(std::uint32_t));
+  at += opts_.vamana.r * sizeof(std::uint32_t);
+  node->vec.resize(dim_);
+  std::memcpy(node->vec.data(), at, dim_ * sizeof(float));
+  return Status::Ok();
+}
+
+Status DiskAnnIndex::Remove(VectorId id) {
+  auto it = id_to_idx_.find(id);
+  if (it == id_to_idx_.end() || deleted_.Test(it->second)) {
+    return Status::NotFound("id not indexed");
+  }
+  deleted_.Set(it->second);
+  --live_count_;
+  return Status::Ok();
+}
+
+Status DiskAnnIndex::SearchImpl(const float* query,
+                                const SearchParams& params,
+                                std::vector<Neighbor>* out,
+                                SearchStats* stats) const {
+  if (file_ == nullptr) return Status::FailedPrecondition("not built");
+  const std::size_t ef = std::max<std::size_t>(
+      params.ef > 0 ? static_cast<std::size_t>(params.ef) : opts_.default_ef,
+      params.k);
+  const std::size_t beam =
+      params.beam_width > 0 ? static_cast<std::size_t>(params.beam_width)
+                            : opts_.default_beam_width;
+  const std::uint64_t reads_before = file_->reads();
+
+  std::vector<float> tables(pq_.m() * pq_.ksub());
+  pq_.ComputeAdcTables(query, tables.data());
+  auto adc = [&](std::uint32_t idx) {
+    if (stats != nullptr) ++stats->code_comps;
+    return pq_.AdcDistance(tables.data(),
+                           codes_.data() + std::size_t{idx} * pq_.code_size());
+  };
+  auto admit = [&](std::uint32_t idx) {
+    if (deleted_.Test(idx)) return false;
+    if (params.filter == nullptr) return true;
+    if (stats != nullptr) ++stats->filter_checks;
+    return params.filter->Matches(labels_[idx]);
+  };
+
+  // Candidate list (DiskANN's L-list): ascending by ADC distance.
+  struct Cand {
+    float adc_dist;
+    std::uint32_t idx;
+  };
+  std::vector<Cand> cands;
+  Bitset seen(labels_.size());
+  Bitset expanded(labels_.size());
+  auto insert_cand = [&](std::uint32_t idx) {
+    if (seen.Test(idx)) return;
+    seen.Set(idx);
+    if (params.filter_mode == FilterMode::kBlockFirst && !admit(idx)) return;
+    Cand c{adc(idx), idx};
+    auto pos = std::lower_bound(
+        cands.begin(), cands.end(), c,
+        [](const Cand& a, const Cand& b) { return a.adc_dist < b.adc_dist; });
+    cands.insert(pos, c);
+    if (cands.size() > ef) cands.pop_back();
+  };
+  insert_cand(medoid_);
+
+  // Exact distances of expanded (read) nodes, for final re-ranking.
+  TopK exact(std::max(params.k, ef));
+  NodeBlock node;
+  while (true) {
+    std::vector<std::uint32_t> batch;
+    for (std::size_t i = 0; i < cands.size() && batch.size() < beam; ++i) {
+      if (!expanded.Test(cands[i].idx)) batch.push_back(cands[i].idx);
+    }
+    if (batch.empty()) break;
+    for (std::uint32_t idx : batch) {
+      expanded.Set(idx);
+      VDB_RETURN_IF_ERROR(ReadNode(idx, &node));
+      if (stats != nullptr) ++stats->nodes_visited;
+      float dist = scorer_.Distance(query, node.vec.data());
+      if (stats != nullptr) ++stats->distance_comps;
+      if (admit(idx)) exact.Push(static_cast<VectorId>(idx), dist);
+      for (std::uint32_t nb : node.neighbors) insert_cand(nb);
+    }
+    if (stats != nullptr) ++stats->hops;
+  }
+
+  out->clear();
+  for (const auto& nb : exact.Take()) {
+    if (out->size() >= params.k) break;
+    out->push_back({labels_[static_cast<std::uint32_t>(nb.id)], nb.dist});
+  }
+  if (stats != nullptr) stats->io_reads += file_->reads() - reads_before;
+  return Status::Ok();
+}
+
+std::size_t DiskAnnIndex::MemoryBytes() const {
+  return codes_.size() + labels_.size() * sizeof(VectorId) +
+         pq_.m() * pq_.ksub() * pq_.dsub() * sizeof(float);
+}
+
+std::size_t DiskAnnIndex::DiskBytes() const {
+  return file_ ? file_->num_pages() * opts_.file.page_size : 0;
+}
+
+}  // namespace vdb

@@ -1,0 +1,79 @@
+#ifndef VDB_INDEX_DISKANN_H_
+#define VDB_INDEX_DISKANN_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/index.h"
+#include "index/vamana.h"
+#include "quant/pq.h"
+#include "storage/paged_file.h"
+
+namespace vdb {
+
+struct DiskAnnOptions {
+  VamanaOptions vamana;  ///< in-memory graph construction parameters
+  PqOptions pq;          ///< in-memory navigation codes
+  std::size_t default_beam_width = 4;
+  std::size_t default_ef = 64;  ///< candidate list size L
+  PagedFileOptions file;
+};
+
+/// DiskANN (Subramanya et al.; paper §2.2(2)): the disk-resident Vamana.
+/// Each node's full vector and adjacency list are co-located in one disk
+/// block; a query holds compressed PQ codes of *all* vectors in memory to
+/// steer beam search, paying one page read only for the nodes it actually
+/// expands (whose exact distances then re-rank the results). The
+/// reads-per-query / recall trade-off is experiment E11.
+class DiskAnnIndex final : public VectorIndex {
+ public:
+  DiskAnnIndex(std::string path, const DiskAnnOptions& opts = {})
+      : path_(std::move(path)), opts_(opts) {}
+
+  std::string Name() const override { return "diskann"; }
+  Status Build(const FloatMatrix& data, std::span<const VectorId> ids) override;
+  Status Remove(VectorId id) override;
+  bool SupportsRemove() const override { return true; }
+  std::size_t Size() const override { return live_count_; }
+  /// In-memory footprint only (codes, labels, codebooks) — the number the
+  /// paper contrasts with in-memory indexes.
+  std::size_t MemoryBytes() const override;
+
+  /// Bytes of the on-disk structure.
+  std::size_t DiskBytes() const;
+  std::uint64_t TotalPageReads() const { return file_ ? file_->reads() : 0; }
+
+ protected:
+  Status SearchImpl(const float* query, const SearchParams& params,
+                    std::vector<Neighbor>* out,
+                    SearchStats* stats) const override;
+
+ private:
+  struct NodeBlock {
+    std::vector<std::uint32_t> neighbors;
+    std::vector<float> vec;
+  };
+  Status ReadNode(std::uint32_t idx, NodeBlock* node) const;
+
+  std::string path_;
+  DiskAnnOptions opts_;
+  std::size_t dim_ = 0;
+  std::size_t node_stride_ = 0;
+  std::size_t nodes_per_page_ = 0;
+  std::uint32_t medoid_ = 0;
+  std::size_t live_count_ = 0;
+  Scorer scorer_;
+  ProductQuantizer pq_;
+  std::vector<std::uint8_t> codes_;   ///< in-memory PQ codes
+  std::vector<VectorId> labels_;
+  std::unordered_map<VectorId, std::uint32_t> id_to_idx_;
+  Bitset deleted_;
+  mutable std::unique_ptr<PagedFile> file_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_INDEX_DISKANN_H_

@@ -1,0 +1,135 @@
+#ifndef VDB_INDEX_GRAPH_UTIL_H_
+#define VDB_INDEX_GRAPH_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "index/index.h"
+
+namespace vdb::graph {
+
+/// Internal candidate (distance, node id) ordered by distance.
+struct Cand {
+  float dist;
+  std::uint32_t idx;
+  friend bool operator<(const Cand& a, const Cand& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.idx < b.idx;
+  }
+  friend bool operator>(const Cand& a, const Cand& b) { return b < a; }
+};
+
+/// Best-first ("beam") search over an adjacency structure — the single
+/// search procedure shared by every graph index (KNNG, NSW, HNSW layer 0,
+/// Vamana) and the place where the paper's graph hybrid operators live:
+///
+///  - FilterMode::kVisitFirst — traversal crosses non-matching nodes but
+///    only matching ones enter the result set (single-stage filtering);
+///  - FilterMode::kBlockFirst — non-matching nodes are never expanded at
+///    all (blocked index scan; may disconnect the graph, the failure mode
+///    §2.3 attributes to online blocking).
+///
+/// `neighbors(u)` returns a span of adjacent node ids; `dist(u)` scores a
+/// node against the query; `admit(u)` checks deletion + predicate.
+/// Returns up to `ef` admissible results, ascending by distance.
+///
+/// `expanded_out`, when non-null, receives every node whose neighborhood
+/// was expanded, in expansion order — DiskANN's visited set V, whose
+/// far-from-target path nodes are exactly what alpha-RNG pruning turns
+/// into the long edges that keep the graph navigable.
+template <typename NeighborsFn, typename DistFn, typename AdmitFn>
+std::vector<Cand> BeamSearch(std::span<const std::uint32_t> entries,
+                             std::size_t ef, std::size_t num_nodes,
+                             FilterMode mode, NeighborsFn&& neighbors,
+                             DistFn&& dist, AdmitFn&& admit,
+                             SearchStats* stats,
+                             std::vector<Cand>* expanded_out = nullptr) {
+  std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> frontier;
+  // Admissible results, worst on top (bounded by ef).
+  std::priority_queue<Cand> results;
+  Bitset visited(num_nodes);
+
+  auto lower_bound = [&] {
+    return results.size() >= ef ? results.top().dist
+                                : std::numeric_limits<float>::infinity();
+  };
+
+  for (std::uint32_t e : entries) {
+    if (e >= num_nodes || visited.Test(e)) continue;
+    visited.Set(e);
+    if (mode == FilterMode::kBlockFirst && !admit(e)) continue;
+    float d = dist(e);
+    if (stats != nullptr) ++stats->distance_comps;
+    frontier.push({d, e});
+    if (admit(e)) {
+      results.push({d, e});
+      while (results.size() > ef) results.pop();
+    }
+  }
+
+  while (!frontier.empty()) {
+    Cand c = frontier.top();
+    frontier.pop();
+    if (c.dist > lower_bound()) break;
+    if (stats != nullptr) {
+      ++stats->hops;
+      ++stats->nodes_visited;
+    }
+    if (expanded_out != nullptr) expanded_out->push_back(c);
+    for (std::uint32_t nb : neighbors(c.idx)) {
+      if (visited.Test(nb)) continue;
+      visited.Set(nb);
+      if (mode == FilterMode::kBlockFirst && !admit(nb)) continue;
+      float d = dist(nb);
+      if (stats != nullptr) ++stats->distance_comps;
+      if (d < lower_bound() || results.size() < ef) {
+        frontier.push({d, nb});
+        if (admit(nb)) {
+          results.push({d, nb});
+          while (results.size() > ef) results.pop();
+        }
+      }
+    }
+  }
+
+  std::vector<Cand> out(results.size());
+  for (std::size_t i = results.size(); i-- > 0;) {
+    out[i] = results.top();
+    results.pop();
+  }
+  return out;
+}
+
+/// Greedy single-path descent to the locally nearest node (used by HNSW's
+/// upper layers and as a cheap navigation primitive).
+template <typename NeighborsFn, typename DistFn>
+std::uint32_t GreedyDescend(std::uint32_t entry, NeighborsFn&& neighbors,
+                            DistFn&& dist, SearchStats* stats) {
+  std::uint32_t current = entry;
+  float best = dist(current);
+  if (stats != nullptr) ++stats->distance_comps;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    if (stats != nullptr) ++stats->hops;
+    for (std::uint32_t nb : neighbors(current)) {
+      float d = dist(nb);
+      if (stats != nullptr) ++stats->distance_comps;
+      if (d < best) {
+        best = d;
+        current = nb;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace vdb::graph
+
+#endif  // VDB_INDEX_GRAPH_UTIL_H_

@@ -1,0 +1,65 @@
+#include "index/index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdb {
+
+Status VectorIndex::Add(const float*, VectorId) {
+  return Status::Unsupported(Name() + ": incremental add not supported");
+}
+
+Status VectorIndex::Remove(VectorId) {
+  return Status::Unsupported(Name() + ": remove not supported");
+}
+
+Status VectorIndex::RangeSearch(const float*, float, std::vector<Neighbor>*,
+                                SearchStats*) const {
+  return Status::Unsupported(Name() + ": range search not supported");
+}
+
+Status VectorIndex::Search(const float* query, const SearchParams& params,
+                           std::vector<Neighbor>* out,
+                           SearchStats* stats) const {
+  if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  out->clear();
+  if (params.k == 0) return Status::Ok();
+
+  if (params.filter != nullptr &&
+      params.filter_mode == FilterMode::kPostFilter) {
+    // Post-filtering (§2.3): run the scan unfiltered with amplified k, then
+    // apply the predicate. May return fewer than k results — that deficit
+    // is the phenomenon E4 measures.
+    SearchParams inner = params;
+    inner.filter = nullptr;
+    inner.filter_mode = FilterMode::kNone;
+    float amp = std::max(params.post_filter_amplification, 1.0f);
+    inner.k = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(params.k) * amp));
+    std::vector<Neighbor> raw;
+    VDB_RETURN_IF_ERROR(SearchImpl(query, inner, &raw, stats));
+    *out = FilterNeighbors(raw, *params.filter, params.k, stats);
+    return Status::Ok();
+  }
+
+  SearchParams inner = params;
+  if (inner.filter == nullptr) inner.filter_mode = FilterMode::kNone;
+  return SearchImpl(query, inner, out, stats);
+}
+
+std::vector<Neighbor> FilterNeighbors(const std::vector<Neighbor>& results,
+                                      const IdFilter& filter, std::size_t k,
+                                      SearchStats* stats) {
+  std::vector<Neighbor> kept;
+  kept.reserve(std::min(k, results.size()));
+  for (const auto& n : results) {
+    if (stats != nullptr) ++stats->filter_checks;
+    if (filter.Matches(n.id)) {
+      kept.push_back(n);
+      if (kept.size() >= k) break;
+    }
+  }
+  return kept;
+}
+
+}  // namespace vdb

@@ -1,0 +1,136 @@
+#ifndef VDB_INDEX_INDEX_H_
+#define VDB_INDEX_INDEX_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Predicate pushed into an index scan. `Matches` must be cheap and
+/// thread-safe; implementations wrap attribute bitmasks (the block-first
+/// bitmask technique of §2.3) or arbitrary callbacks.
+class IdFilter {
+ public:
+  virtual ~IdFilter() = default;
+  virtual bool Matches(VectorId id) const = 0;
+};
+
+/// Filter over a bitset keyed by (dense) external id. The standard carrier
+/// for attribute bitmasks built by the storage manager.
+class BitsetIdFilter final : public IdFilter {
+ public:
+  explicit BitsetIdFilter(const Bitset* bits) : bits_(bits) {}
+  bool Matches(VectorId id) const override {
+    return id < bits_->size() && bits_->Test(static_cast<std::size_t>(id));
+  }
+  const Bitset* bits() const { return bits_; }
+
+ private:
+  const Bitset* bits_;  // not owned
+};
+
+/// Arbitrary-predicate filter (used for tests and ad-hoc callers).
+class CallbackIdFilter final : public IdFilter {
+ public:
+  using Fn = bool (*)(VectorId, const void*);
+  CallbackIdFilter(Fn fn, const void* ctx) : fn_(fn), ctx_(ctx) {}
+  bool Matches(VectorId id) const override { return fn_(id, ctx_); }
+
+ private:
+  Fn fn_;
+  const void* ctx_;
+};
+
+/// How a predicate combines with an index scan (paper §2.3 "Hybrid
+/// Operators" / "Plan Enumeration").
+enum class FilterMode {
+  kNone,        ///< unfiltered scan
+  kBlockFirst,  ///< pre-filtering: blocked entries are never explored
+  kVisitFirst,  ///< single-stage: traversal sees all, results must match
+  kPostFilter,  ///< post-filtering: search a*k unfiltered, filter after
+};
+
+/// Per-query knobs. `-1` (or negative) selects the index's build-time
+/// default. A single struct is shared across all index families so the
+/// query executor can sweep knobs uniformly.
+struct SearchParams {
+  std::size_t k = 10;
+
+  int nprobe = -1;          ///< IVF/SPANN: posting lists to scan
+  int ef = -1;              ///< graphs: candidate queue width
+  int beam_width = -1;      ///< DiskANN: beam search width
+  int max_leaf_visits = -1; ///< trees: leaves to inspect before stopping
+  int lsh_probes = -1;      ///< LSH: extra multi-probe buckets per table
+  float spann_eps = -1.0f;  ///< SPANN: closure pruning ratio at query time
+  bool rerank = true;       ///< compressed indexes: re-rank with full vectors
+
+  const IdFilter* filter = nullptr;      ///< not owned
+  FilterMode filter_mode = FilterMode::kBlockFirst;
+  /// Post-filter amplification `a`: retrieve a*k then filter (§2.6(3)).
+  float post_filter_amplification = 3.0f;
+};
+
+/// Abstract approximate/exact nearest-neighbor index over one vector
+/// collection (paper Figure 1 "Search Indexes"). Implementations copy the
+/// vectors they index; external `VectorId` labels flow through results.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Builds from scratch. `ids[i]` labels row i of `data`; when `ids` is
+  /// empty, row indices are used as labels.
+  virtual Status Build(const FloatMatrix& data,
+                       std::span<const VectorId> ids) = 0;
+
+  /// Incremental insert. Default: unsupported (the paper's "hard to
+  /// update" indexes — callers fall back to out-of-place updates).
+  virtual Status Add(const float* vec, VectorId id);
+
+  /// Tombstone removal. Default: unsupported.
+  virtual Status Remove(VectorId id);
+
+  /// k-NN search. Applies `params.filter` per `params.filter_mode`;
+  /// post-filtering is handled generically for every index.
+  Status Search(const float* query, const SearchParams& params,
+                std::vector<Neighbor>* out, SearchStats* stats = nullptr) const;
+
+  /// Range search: all ids with distance <= radius (internal-score space).
+  /// Default: unsupported (flat and graph indexes implement it).
+  virtual Status RangeSearch(const float* query, float radius,
+                             std::vector<Neighbor>* out,
+                             SearchStats* stats = nullptr) const;
+
+  /// Number of (live) indexed vectors.
+  virtual std::size_t Size() const = 0;
+
+  /// Rough resident memory of the index structure + stored vectors.
+  virtual std::size_t MemoryBytes() const = 0;
+
+  virtual bool SupportsAdd() const { return false; }
+  virtual bool SupportsRemove() const { return false; }
+
+ protected:
+  /// Family-specific search; `params.filter_mode` is never kPostFilter
+  /// here (the base class rewrites post-filter queries).
+  virtual Status SearchImpl(const float* query, const SearchParams& params,
+                            std::vector<Neighbor>* out,
+                            SearchStats* stats) const = 0;
+};
+
+/// Convenience: applies a filter to `results`, keeping order, truncating
+/// to k. Used by post-filtering and by operators that re-check predicates.
+std::vector<Neighbor> FilterNeighbors(const std::vector<Neighbor>& results,
+                                      const IdFilter& filter, std::size_t k,
+                                      SearchStats* stats);
+
+}  // namespace vdb
+
+#endif  // VDB_INDEX_INDEX_H_

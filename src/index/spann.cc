@@ -1,0 +1,175 @@
+#include "index/spann.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "core/kmeans.h"
+#include "core/simd.h"
+#include "core/topk.h"
+
+namespace vdb {
+
+std::size_t SpannIndex::EntriesPerPage() const {
+  // Posting entry: [uint32 internal id][dim x float].
+  std::size_t entry = sizeof(std::uint32_t) + dim_ * sizeof(float);
+  return opts_.file.page_size / entry;
+}
+
+Status SpannIndex::Build(const FloatMatrix& data,
+                         std::span<const VectorId> ids) {
+  if (data.empty()) return Status::InvalidArgument("empty build data");
+  if (opts_.metric.metric != Metric::kL2) {
+    return Status::InvalidArgument("spann supports the L2 metric only");
+  }
+  dim_ = data.cols();
+  VDB_ASSIGN_OR_RETURN(scorer_, Scorer::Create(opts_.metric, dim_));
+  if (EntriesPerPage() == 0) {
+    return Status::InvalidArgument("vector too large for page_size");
+  }
+
+  labels_.resize(data.rows());
+  id_to_idx_.clear();
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    labels_[i] = ids.empty() ? static_cast<VectorId>(i) : ids[i];
+    id_to_idx_[labels_[i]] = static_cast<std::uint32_t>(i);
+  }
+  deleted_ = Bitset(data.rows());
+  live_count_ = data.rows();
+
+  KMeansOptions km;
+  km.k = opts_.nlist;
+  km.max_iters = opts_.kmeans_iters;
+  km.seed = opts_.seed;
+  VDB_ASSIGN_OR_RETURN(KMeansResult result, KMeans(data, km));
+  centroids_ = std::move(result.centroids);
+
+  // Closure assignment: replicate boundary vectors into every list whose
+  // centroid is within (1+eps) of the nearest one (SPANN's multi-cluster
+  // closure, which reduces boundary-miss I/O at query time).
+  std::vector<std::vector<std::uint32_t>> lists(centroids_.rows());
+  total_assignments_ = 0;
+  const float closure = (1.0f + opts_.closure_eps) * (1.0f + opts_.closure_eps);
+  for (std::uint32_t i = 0; i < data.rows(); ++i) {
+    auto order = NearestCentroids(centroids_, data.row(i),
+                                  std::min<std::size_t>(opts_.max_replicas,
+                                                        centroids_.rows()));
+    float dmin = simd::L2Sq(data.row(i), centroids_.row(order[0]), dim_);
+    for (std::uint32_t c : order) {
+      float d = simd::L2Sq(data.row(i), centroids_.row(c), dim_);
+      if (c != order[0] && d > dmin * closure) break;
+      lists[c].push_back(i);
+      ++total_assignments_;
+    }
+  }
+
+  // Serialize posting lists, page-aligned.
+  VDB_ASSIGN_OR_RETURN(file_, PagedFile::Create(path_, opts_.file));
+  postings_.assign(lists.size(), {});
+  const std::size_t epp = EntriesPerPage();
+  const std::size_t entry_size = sizeof(std::uint32_t) + dim_ * sizeof(float);
+  std::vector<std::uint8_t> page(opts_.file.page_size, 0);
+  std::uint64_t next_page = 0;
+  for (std::size_t c = 0; c < lists.size(); ++c) {
+    postings_[c].first_page = next_page;
+    postings_[c].num_entries = static_cast<std::uint32_t>(lists[c].size());
+    for (std::size_t off = 0; off < lists[c].size(); off += epp) {
+      std::fill(page.begin(), page.end(), 0);
+      std::size_t count = std::min(epp, lists[c].size() - off);
+      for (std::size_t e = 0; e < count; ++e) {
+        std::uint8_t* at = page.data() + e * entry_size;
+        std::uint32_t idx = lists[c][off + e];
+        std::memcpy(at, &idx, sizeof(idx));
+        std::memcpy(at + sizeof(idx), data.row(idx), dim_ * sizeof(float));
+      }
+      VDB_RETURN_IF_ERROR(file_->WritePage(next_page++, page.data()));
+    }
+    if (lists[c].empty()) postings_[c].first_page = next_page;
+  }
+  file_->ResetCounters();
+  return Status::Ok();
+}
+
+Status SpannIndex::Remove(VectorId id) {
+  auto it = id_to_idx_.find(id);
+  if (it == id_to_idx_.end() || deleted_.Test(it->second)) {
+    return Status::NotFound("id not indexed");
+  }
+  deleted_.Set(it->second);
+  --live_count_;
+  return Status::Ok();
+}
+
+Status SpannIndex::SearchImpl(const float* query, const SearchParams& params,
+                              std::vector<Neighbor>* out,
+                              SearchStats* stats) const {
+  if (file_ == nullptr) return Status::FailedPrecondition("not built");
+  const std::uint64_t reads_before = file_->reads();
+  const float eps =
+      params.spann_eps >= 0.0f ? params.spann_eps : opts_.default_query_eps;
+  const int nprobe = params.nprobe > 0 ? params.nprobe : opts_.default_nprobe;
+
+  // Centroid pruning: keep lists within (1+eps) of the nearest centroid.
+  auto order = NearestCentroids(
+      centroids_, query,
+      std::min<std::size_t>(static_cast<std::size_t>(nprobe),
+                            centroids_.rows()));
+  if (stats != nullptr) stats->distance_comps += centroids_.rows();
+  float dmin = simd::L2Sq(query, centroids_.row(order[0]), dim_);
+  const float prune = (1.0f + eps) * (1.0f + eps);
+
+  const std::size_t epp = EntriesPerPage();
+  const std::size_t entry_size = sizeof(std::uint32_t) + dim_ * sizeof(float);
+  std::vector<std::uint8_t> page(opts_.file.page_size);
+  Bitset seen(labels_.size());
+  TopK top(params.k);
+  for (std::uint32_t c : order) {
+    if (c != order[0] &&
+        simd::L2Sq(query, centroids_.row(c), dim_) > dmin * prune) {
+      break;  // order is ascending: everything further is pruned too
+    }
+    if (stats != nullptr) ++stats->nodes_visited;
+    const Posting& posting = postings_[c];
+    std::size_t pages = (posting.num_entries + epp - 1) / epp;
+    for (std::size_t p = 0; p < pages; ++p) {
+      VDB_RETURN_IF_ERROR(file_->ReadPage(posting.first_page + p, page.data()));
+      std::size_t count = std::min(epp, posting.num_entries - p * epp);
+      for (std::size_t e = 0; e < count; ++e) {
+        const std::uint8_t* at = page.data() + e * entry_size;
+        std::uint32_t idx;
+        std::memcpy(&idx, at, sizeof(idx));
+        if (seen.Test(idx)) continue;  // closure duplicates
+        seen.Set(idx);
+        if (deleted_.Test(idx)) continue;
+        if (params.filter != nullptr) {
+          if (stats != nullptr) ++stats->filter_checks;
+          if (!params.filter->Matches(labels_[idx])) continue;
+        }
+        const float* vec = reinterpret_cast<const float*>(at + sizeof(idx));
+        float dist = scorer_.Distance(query, vec);
+        if (stats != nullptr) ++stats->distance_comps;
+        top.Push(labels_[idx], dist);
+      }
+    }
+  }
+  *out = top.Take();
+  if (stats != nullptr) stats->io_reads += file_->reads() - reads_before;
+  return Status::Ok();
+}
+
+double SpannIndex::ReplicationFactor() const {
+  return labels_.empty() ? 0.0
+                         : static_cast<double>(total_assignments_) /
+                               static_cast<double>(labels_.size());
+}
+
+std::size_t SpannIndex::MemoryBytes() const {
+  return centroids_.ByteSize() + postings_.size() * sizeof(Posting) +
+         labels_.size() * sizeof(VectorId);
+}
+
+std::size_t SpannIndex::DiskBytes() const {
+  return file_ ? file_->num_pages() * opts_.file.page_size : 0;
+}
+
+}  // namespace vdb

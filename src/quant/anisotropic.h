@@ -1,0 +1,59 @@
+#ifndef VDB_QUANT_ANISOTROPIC_H_
+#define VDB_QUANT_ANISOTROPIC_H_
+
+#include <cstdint>
+
+#include "quant/pq.h"
+#include "quant/quantizer.h"
+
+namespace vdb {
+
+struct AnisotropicPqOptions {
+  PqOptions pq;
+  /// Weight on the parallel residual component (eta > 1 = score-aware:
+  /// errors along the datapoint's own direction hurt inner-product scores
+  /// the most, so they are penalized hardest; eta = 1 degenerates to
+  /// plain PQ assignment). Gains show for queries aligned with their top
+  /// results (the MIPS regime) at moderate eta; large eta over-distorts.
+  float eta = 2.0f;
+};
+
+/// Score-aware anisotropic quantization in the ScaNN family (Guo et al.;
+/// cited at paper §2.2(3)): codeword assignment minimizes an anisotropic
+/// loss  eta * ||r_par||^2 + ||r_perp||^2  where r_par is the component of
+/// the residual parallel to the (sub)vector being encoded. For maximum
+/// inner-product search this preserves the quantity queries actually
+/// score, trading away isotropic reconstruction error.
+///
+/// Simplification vs the paper: codebooks are the standard k-means
+/// codebooks of the inner PQ; the anisotropy enters at assignment time
+/// (the paper additionally re-estimates codewords under the anisotropic
+/// loss). The E2/A1 measurements show the assignment-side effect alone
+/// reproduces the MIPS-recall ordering.
+class AnisotropicProductQuantizer final : public Quantizer {
+ public:
+  explicit AnisotropicProductQuantizer(const AnisotropicPqOptions& opts = {})
+      : opts_(opts), pq_(opts.pq) {}
+
+  Status Train(const FloatMatrix& data) override;
+  std::size_t code_size() const override { return pq_.code_size(); }
+  std::size_t dim() const override { return pq_.dim(); }
+  void Encode(const float* x, std::uint8_t* code) const override;
+  void Decode(const std::uint8_t* code, float* x) const override;
+  std::string Name() const override {
+    return "apq" + std::to_string(opts_.pq.m);
+  }
+
+  const ProductQuantizer& inner() const { return pq_; }
+
+ private:
+  /// Anisotropic loss of representing subvector `xs` by centroid `c`.
+  float Loss(const float* xs, const float* c, std::size_t dsub) const;
+
+  AnisotropicPqOptions opts_;
+  ProductQuantizer pq_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_QUANT_ANISOTROPIC_H_

@@ -1,0 +1,127 @@
+#include "quant/opq.h"
+
+#include <cmath>
+
+#include "core/linalg.h"
+#include "core/rng.h"
+
+namespace vdb {
+
+namespace {
+
+// Orthogonal Procrustes: the orthonormal Q minimizing ||X Q - Y||_F is
+// U V^T where X^T Y = U S V^T. The SVD is derived from the Jacobi
+// eigendecomposition of M^T M (fine for the d <= ~1024 sizes here).
+FloatMatrix ProcrustesRotation(const FloatMatrix& x, const FloatMatrix& y) {
+  const std::size_t d = x.cols();
+  FloatMatrix m = linalg::MatMul(linalg::Transpose(x), y);  // d x d
+  FloatMatrix mtm = linalg::MatMul(linalg::Transpose(m), m);
+  std::vector<float> evals;
+  FloatMatrix v_rows;  // rows are eigenvectors of M^T M (right sing. vecs)
+  linalg::JacobiEigenSymmetric(mtm, &evals, &v_rows);
+
+  // u_r = M v_r / sigma_r; degenerate directions are completed by
+  // Gram-Schmidt so Q stays orthonormal.
+  FloatMatrix u_rows(d, d);
+  Rng rng(97);
+  for (std::size_t r = 0; r < d; ++r) {
+    float sigma = std::sqrt(std::max(evals[r], 0.0f));
+    float* u = u_rows.row(r);
+    if (sigma > 1e-6f) {
+      linalg::MatVec(m, v_rows.row(r), u);
+      for (std::size_t j = 0; j < d; ++j) u[j] /= sigma;
+    } else {
+      for (std::size_t j = 0; j < d; ++j) u[j] = rng.NextGaussian();
+    }
+    for (std::size_t p = 0; p < r; ++p) {
+      const float* prev = u_rows.row(p);
+      double dot = 0.0;
+      for (std::size_t j = 0; j < d; ++j) dot += u[j] * prev[j];
+      for (std::size_t j = 0; j < d; ++j)
+        u[j] -= static_cast<float>(dot) * prev[j];
+    }
+    double norm = 0.0;
+    for (std::size_t j = 0; j < d; ++j) norm += u[j] * u[j];
+    norm = std::sqrt(std::max(norm, 1e-20));
+    for (std::size_t j = 0; j < d; ++j)
+      u[j] = static_cast<float>(u[j] / norm);
+  }
+
+  // Q = U V^T = sum_r u_r v_r^T.
+  FloatMatrix q(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    const float* u = u_rows.row(r);
+    const float* v = v_rows.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      float ui = u[i];
+      float* qrow = q.row(i);
+      for (std::size_t j = 0; j < d; ++j) qrow[j] += ui * v[j];
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+Status OptimizedProductQuantizer::Train(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("opq: empty training data");
+  dim_ = data.cols();
+  Rng rng(opts_.pq.seed);
+  rotation_ = linalg::RandomOrthonormal(dim_, &rng);
+
+  FloatMatrix rotated(data.rows(), dim_);
+  std::vector<std::uint8_t> code(opts_.pq.m);
+  FloatMatrix recon(data.rows(), dim_);
+
+  for (int iter = 0; iter < opts_.opq_iters; ++iter) {
+    // Rotate: row i of `rotated` = R * x_i.
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      linalg::MatVec(rotation_, data.row(i), rotated.row(i));
+    }
+    // Train PQ on the rotated data (short inner runs until the final pass).
+    PqOptions pqo = opts_.pq;
+    pqo.train_iters = (iter + 1 == opts_.opq_iters) ? opts_.pq.train_iters
+                                                    : std::max(4, 1);
+    pq_ = ProductQuantizer(pqo);
+    VDB_RETURN_IF_ERROR(pq_.Train(rotated));
+    if (iter + 1 == opts_.opq_iters) break;
+
+    // Reconstructions of the rotated data.
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      pq_.Encode(rotated.row(i), code.data());
+      pq_.Decode(code.data(), recon.row(i));
+    }
+    // New rotation: rows of data map onto recon; x'^T = x^T Q with
+    // Q = Procrustes(X, Y), hence R = Q^T.
+    FloatMatrix q = ProcrustesRotation(data, recon);
+    rotation_ = linalg::Transpose(q);
+  }
+  return Status::Ok();
+}
+
+void OptimizedProductQuantizer::Encode(const float* x,
+                                       std::uint8_t* code) const {
+  std::vector<float> rotated(dim_);
+  linalg::MatVec(rotation_, x, rotated.data());
+  pq_.Encode(rotated.data(), code);
+}
+
+void OptimizedProductQuantizer::Decode(const std::uint8_t* code,
+                                       float* x) const {
+  std::vector<float> rotated(dim_);
+  pq_.Decode(code, rotated.data());
+  // x = R^T x' (inverse of an orthonormal rotation is its transpose).
+  for (std::size_t j = 0; j < dim_; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i)
+      acc += rotation_.at(i, j) * rotated[i];
+    x[j] = static_cast<float>(acc);
+  }
+}
+
+void OptimizedProductQuantizer::RotateQuery(const float* query,
+                                            float* out) const {
+  linalg::MatVec(rotation_, query, out);
+}
+
+}  // namespace vdb

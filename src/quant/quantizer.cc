@@ -1,0 +1,20 @@
+#include "quant/quantizer.h"
+
+#include "core/simd.h"
+
+namespace vdb {
+
+double Quantizer::ReconstructionError(const FloatMatrix& data) const {
+  if (data.empty()) return 0.0;
+  std::vector<std::uint8_t> code(code_size());
+  std::vector<float> recon(dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    Encode(data.row(i), code.data());
+    Decode(code.data(), recon.data());
+    total += simd::L2Sq(data.row(i), recon.data(), dim());
+  }
+  return total / static_cast<double>(data.rows());
+}
+
+}  // namespace vdb

@@ -1,0 +1,43 @@
+#ifndef VDB_QUANT_QUANTIZER_H_
+#define VDB_QUANT_QUANTIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// Vector compression by quantization (paper §2.2(3)): maps each vector
+/// onto a small discrete code. Implementations: scalar quantization (SQ8),
+/// product quantization (PQ), and optimized PQ (OPQ).
+class Quantizer {
+ public:
+  virtual ~Quantizer() = default;
+
+  /// Learns codebooks / parameters from a training sample.
+  virtual Status Train(const FloatMatrix& data) = 0;
+
+  /// Bytes per encoded vector.
+  virtual std::size_t code_size() const = 0;
+
+  /// Input dimensionality (valid after Train).
+  virtual std::size_t dim() const = 0;
+
+  /// Encodes `x` (length dim) into `code` (length code_size).
+  virtual void Encode(const float* x, std::uint8_t* code) const = 0;
+
+  /// Reconstructs an approximation of the original vector from `code`.
+  virtual void Decode(const std::uint8_t* code, float* x) const = 0;
+
+  virtual std::string Name() const = 0;
+
+  /// Mean squared L2 reconstruction error over the rows of `data`.
+  double ReconstructionError(const FloatMatrix& data) const;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_QUANT_QUANTIZER_H_

@@ -1,0 +1,53 @@
+#include "quant/sq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vdb {
+
+Status ScalarQuantizer::Train(const FloatMatrix& data) {
+  if (data.empty()) return Status::InvalidArgument("sq: empty training data");
+  dim_ = data.cols();
+  vmin_.assign(dim_, std::numeric_limits<float>::max());
+  std::vector<float> vmax(dim_, std::numeric_limits<float>::lowest());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const float* row = data.row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      vmin_[j] = std::min(vmin_[j], row[j]);
+      vmax[j] = std::max(vmax[j], row[j]);
+    }
+  }
+  vscale_.resize(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    vscale_[j] = std::max((vmax[j] - vmin_[j]) / 255.0f, 1e-20f);
+  }
+  return Status::Ok();
+}
+
+void ScalarQuantizer::Encode(const float* x, std::uint8_t* code) const {
+  for (std::size_t j = 0; j < dim_; ++j) {
+    float t = (x[j] - vmin_[j]) / vscale_[j];
+    t = std::clamp(t, 0.0f, 255.0f);
+    code[j] = static_cast<std::uint8_t>(std::lround(t));
+  }
+}
+
+void ScalarQuantizer::Decode(const std::uint8_t* code, float* x) const {
+  for (std::size_t j = 0; j < dim_; ++j) {
+    x[j] = vmin_[j] + vscale_[j] * static_cast<float>(code[j]);
+  }
+}
+
+float ScalarQuantizer::AdcL2Sq(const float* query,
+                               const std::uint8_t* code) const {
+  float acc = 0.0f;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    float v = vmin_[j] + vscale_[j] * static_cast<float>(code[j]);
+    float d = query[j] - v;
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace vdb

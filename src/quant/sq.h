@@ -1,0 +1,35 @@
+#ifndef VDB_QUANT_SQ_H_
+#define VDB_QUANT_SQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantizer.h"
+
+namespace vdb {
+
+/// 8-bit scalar quantizer: each dimension is affinely mapped to a uint8
+/// using per-dimension [min, max] learned at train time (the "SQ index"
+/// bit-compression of §2.2(3)). 4x compression over float32.
+class ScalarQuantizer final : public Quantizer {
+ public:
+  Status Train(const FloatMatrix& data) override;
+  std::size_t code_size() const override { return dim_; }
+  std::size_t dim() const override { return dim_; }
+  void Encode(const float* x, std::uint8_t* code) const override;
+  void Decode(const std::uint8_t* code, float* x) const override;
+  std::string Name() const override { return "sq8"; }
+
+  /// Asymmetric distance: squared L2 between a raw query and a code,
+  /// decoding on the fly (no allocation).
+  float AdcL2Sq(const float* query, const std::uint8_t* code) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<float> vmin_;
+  std::vector<float> vscale_;  ///< (max - min) / 255, >= tiny
+};
+
+}  // namespace vdb
+
+#endif  // VDB_QUANT_SQ_H_

@@ -1,0 +1,116 @@
+#include "storage/paged_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vdb {
+
+Result<std::unique_ptr<PagedFile>> PagedFile::OpenImpl(
+    const std::string& path, const PagedFileOptions& opts, bool truncate) {
+  if (opts.page_size == 0 || opts.page_size % 512 != 0) {
+    return Status::InvalidArgument("page_size must be a positive multiple of 512");
+  }
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek: " + std::string(std::strerror(errno)));
+  }
+  return Result<std::unique_ptr<PagedFile>>(
+      std::unique_ptr<PagedFile>(new PagedFile(
+          fd, opts, static_cast<std::uint64_t>(size) / opts.page_size)));
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Create(
+    const std::string& path, const PagedFileOptions& opts) {
+  return OpenImpl(path, opts, /*truncate=*/true);
+}
+
+Result<std::unique_ptr<PagedFile>> PagedFile::Open(
+    const std::string& path, const PagedFileOptions& opts) {
+  return OpenImpl(path, opts, /*truncate=*/false);
+}
+
+PagedFile::~PagedFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool PagedFile::CacheLookup(std::uint64_t page_id, std::uint8_t* buf) {
+  auto it = cache_.find(page_id);
+  if (it == cache_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(page_id);
+  it->second.lru_it = lru_.begin();
+  std::memcpy(buf, it->second.data.data(), opts_.page_size);
+  ++cache_hits_;
+  return true;
+}
+
+void PagedFile::CacheInsert(std::uint64_t page_id, const std::uint8_t* buf) {
+  if (opts_.cache_pages == 0) return;
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    std::memcpy(it->second.data.data(), buf, opts_.page_size);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(page_id);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  while (cache_.size() >= opts_.cache_pages && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  CacheEntry entry;
+  entry.lru_it = lru_.begin();
+  entry.data.assign(buf, buf + opts_.page_size);
+  cache_.emplace(page_id, std::move(entry));
+}
+
+Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
+  if (page_id >= num_pages_) {
+    return Status::OutOfRange("page beyond end of file");
+  }
+  if (CacheLookup(page_id, buf)) return Status::Ok();
+  if (fault_after_ >= 0) {
+    if (fault_after_ == 0) {
+      return Status::IoError("injected read fault");
+    }
+    --fault_after_;
+  }
+  ssize_t got = ::pread(fd_, buf, opts_.page_size,
+                        static_cast<off_t>(page_id * opts_.page_size));
+  if (got != static_cast<ssize_t>(opts_.page_size)) {
+    return Status::IoError("pread failed or short");
+  }
+  ++reads_;
+  CacheInsert(page_id, buf);
+  return Status::Ok();
+}
+
+Status PagedFile::WritePage(std::uint64_t page_id, const std::uint8_t* buf) {
+  ssize_t put = ::pwrite(fd_, buf, opts_.page_size,
+                         static_cast<off_t>(page_id * opts_.page_size));
+  if (put != static_cast<ssize_t>(opts_.page_size)) {
+    return Status::IoError("pwrite failed or short");
+  }
+  ++writes_;
+  if (page_id >= num_pages_) num_pages_ = page_id + 1;
+  CacheInsert(page_id, buf);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> PagedFile::AppendPage(const std::uint8_t* buf) {
+  std::uint64_t page_id = num_pages_;
+  VDB_RETURN_IF_ERROR(WritePage(page_id, buf));
+  return page_id;
+}
+
+}  // namespace vdb

@@ -1,0 +1,96 @@
+#ifndef VDB_STORAGE_PAGED_FILE_H_
+#define VDB_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vdb {
+
+struct PagedFileOptions {
+  std::size_t page_size = 4096;
+  /// LRU page-cache capacity in pages (0 disables caching). Cache hits do
+  /// not count as I/O reads — exactly the accounting DiskANN/SPANN papers
+  /// use when they report "disk accesses".
+  std::size_t cache_pages = 0;
+};
+
+/// Page-granular file — the "disk" substrate for the disk-resident indexes
+/// (paper §2.2: DiskANN, SPANN). All I/O is counted, making experiment
+/// E11's page-reads-per-query metric hardware-independent. Supports read
+/// fault injection for failure testing.
+class PagedFile {
+ public:
+  /// Creates (truncating) a paged file at `path`.
+  static Result<std::unique_ptr<PagedFile>> Create(
+      const std::string& path, const PagedFileOptions& opts = {});
+  /// Opens an existing paged file.
+  static Result<std::unique_ptr<PagedFile>> Open(
+      const std::string& path, const PagedFileOptions& opts = {});
+
+  ~PagedFile();
+  PagedFile(const PagedFile&) = delete;
+  PagedFile& operator=(const PagedFile&) = delete;
+
+  /// Reads page `page_id` into `buf` (page_size bytes).
+  Status ReadPage(std::uint64_t page_id, std::uint8_t* buf);
+
+  /// Writes page `page_id` from `buf` (page_size bytes); extends the file
+  /// as needed.
+  Status WritePage(std::uint64_t page_id, const std::uint8_t* buf);
+
+  /// Appends a fresh page, returning its id.
+  Result<std::uint64_t> AppendPage(const std::uint8_t* buf);
+
+  std::size_t page_size() const { return opts_.page_size; }
+  std::uint64_t num_pages() const { return num_pages_; }
+
+  /// Physical page reads (cache misses).
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  void ResetCounters() {
+    reads_ = 0;
+    writes_ = 0;
+    cache_hits_ = 0;
+  }
+
+  /// Failure injection: the next physical read after `count` more reads
+  /// fails with IoError. Negative disables.
+  void InjectReadFaultAfter(std::int64_t count) { fault_after_ = count; }
+
+ private:
+  PagedFile(int fd, const PagedFileOptions& opts, std::uint64_t num_pages)
+      : fd_(fd), opts_(opts), num_pages_(num_pages) {}
+
+  static Result<std::unique_ptr<PagedFile>> OpenImpl(
+      const std::string& path, const PagedFileOptions& opts, bool truncate);
+
+  bool CacheLookup(std::uint64_t page_id, std::uint8_t* buf);
+  void CacheInsert(std::uint64_t page_id, const std::uint8_t* buf);
+
+  int fd_;
+  PagedFileOptions opts_;
+  std::uint64_t num_pages_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::int64_t fault_after_ = -1;
+
+  /// LRU cache: most-recent at front.
+  std::list<std::uint64_t> lru_;
+  struct CacheEntry {
+    std::list<std::uint64_t>::iterator lru_it;
+    std::vector<std::uint8_t> data;
+  };
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_STORAGE_PAGED_FILE_H_

@@ -1,0 +1,195 @@
+#ifndef VDB_STORAGE_SERIALIZER_H_
+#define VDB_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "storage/wal.h"
+
+namespace vdb {
+
+/// Little binary writer for index/collection persistence. Layout:
+/// [magic u32][payload...][crc32 u32 of payload]. All integers
+/// little-endian fixed width; matrices as rows x cols x float payload.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::uint32_t magic) { U32(magic); }
+
+  void U8(std::uint8_t v) { bytes_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void F32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    U32(bits);
+  }
+  void Bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+  void Matrix(const FloatMatrix& m) {
+    U64(m.rows());
+    U64(m.cols());
+    Bytes(m.data(), m.ByteSize());
+  }
+  void U32Vector(const std::vector<std::uint32_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+  void U64Vector(const std::vector<std::uint64_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+
+  Status WriteTo(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("open for write: " + path);
+    out.write(reinterpret_cast<const char*>(bytes_.data()),
+              static_cast<std::streamsize>(bytes_.size()));
+    // Payload CRC excludes the magic prefix (first 4 bytes).
+    std::uint32_t crc = Wal::Crc32(bytes_.data() + 4, bytes_.size() - 4);
+    char tail[4];
+    for (int i = 0; i < 4; ++i) tail[i] = (crc >> (8 * i)) & 0xff;
+    out.write(tail, 4);
+    if (!out) return Status::IoError("write failed: " + path);
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Matching reader; validates magic and CRC up front.
+class BinaryReader {
+ public:
+  static Result<BinaryReader> Open(const std::string& path,
+                                   std::uint32_t magic) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IoError("open for read: " + path);
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    if (bytes.size() < 8) return Status::Corruption("file too short");
+    BinaryReader reader;
+    reader.bytes_ = std::move(bytes);
+    std::uint32_t found_magic;
+    std::memcpy(&found_magic, reader.bytes_.data(), 4);
+    if (found_magic != magic) return Status::Corruption("bad magic");
+    std::uint32_t stored_crc;
+    std::memcpy(&stored_crc, reader.bytes_.data() + reader.bytes_.size() - 4,
+                4);
+    std::uint32_t crc =
+        Wal::Crc32(reader.bytes_.data() + 4, reader.bytes_.size() - 8);
+    if (crc != stored_crc) return Status::Corruption("crc mismatch");
+    reader.at_ = 4;
+    reader.end_ = reader.bytes_.size() - 4;
+    return reader;
+  }
+
+  Result<std::uint8_t> U8() {
+    std::uint8_t v;
+    VDB_RETURN_IF_ERROR(Take(&v, 1));
+    return v;
+  }
+  Result<std::uint32_t> U32() {
+    std::uint8_t raw[4] = {};
+    VDB_RETURN_IF_ERROR(Take(raw, 4));
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(raw[i]) << (8 * i);
+    return v;
+  }
+  Result<std::uint64_t> U64() {
+    std::uint8_t raw[8] = {};
+    VDB_RETURN_IF_ERROR(Take(raw, 8));
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(raw[i]) << (8 * i);
+    return v;
+  }
+  Result<float> F32() {
+    VDB_ASSIGN_OR_RETURN(std::uint32_t bits, U32());
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  Result<FloatMatrix> Matrix() {
+    VDB_ASSIGN_OR_RETURN(std::uint64_t rows, U64());
+    VDB_ASSIGN_OR_RETURN(std::uint64_t cols, U64());
+    if (rows * cols * 4 > Remaining()) {
+      return Status::Corruption("matrix overruns file");
+    }
+    FloatMatrix m(rows, cols);
+    VDB_RETURN_IF_ERROR(Take(m.data(), rows * cols * 4));
+    return m;
+  }
+  Result<std::vector<std::uint32_t>> U32Vector() {
+    VDB_ASSIGN_OR_RETURN(std::uint64_t n, U64());
+    if (n * 4 > Remaining()) return Status::Corruption("vector overruns file");
+    std::vector<std::uint32_t> v(n);
+    VDB_RETURN_IF_ERROR(Take(v.data(), n * 4));
+    return v;
+  }
+  Result<std::vector<std::uint64_t>> U64Vector() {
+    VDB_ASSIGN_OR_RETURN(std::uint64_t n, U64());
+    if (n * 8 > Remaining()) return Status::Corruption("vector overruns file");
+    std::vector<std::uint64_t> v(n);
+    VDB_RETURN_IF_ERROR(Take(v.data(), n * 8));
+    return v;
+  }
+
+  std::size_t Remaining() const { return end_ - at_; }
+
+ private:
+  Status Take(void* out, std::size_t n) {
+    if (at_ + n > end_) return Status::Corruption("unexpected end of file");
+    std::memcpy(out, bytes_.data() + at_, n);
+    at_ += n;
+    return Status::Ok();
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+  std::size_t end_ = 0;
+};
+
+namespace serialize_detail {
+inline constexpr std::uint8_t kMetricTagMax = 5;
+}  // namespace serialize_detail
+
+/// MetricSpec round-trip (shared by every index's Save/Load).
+inline void WriteMetricSpec(BinaryWriter* w, const MetricSpec& spec) {
+  w->U8(static_cast<std::uint8_t>(spec.metric));
+  w->F32(spec.minkowski_p);
+  w->U64(spec.mahalanobis_l.size());
+  w->Bytes(spec.mahalanobis_l.data(),
+           spec.mahalanobis_l.size() * sizeof(float));
+}
+
+inline Result<MetricSpec> ReadMetricSpec(BinaryReader* r) {
+  MetricSpec spec;
+  VDB_ASSIGN_OR_RETURN(std::uint8_t tag, r->U8());
+  if (tag > serialize_detail::kMetricTagMax) {
+    return Status::Corruption("bad metric tag");
+  }
+  spec.metric = static_cast<Metric>(tag);
+  VDB_ASSIGN_OR_RETURN(spec.minkowski_p, r->F32());
+  VDB_ASSIGN_OR_RETURN(std::uint64_t n, r->U64());
+  if (n * 4 > r->Remaining()) return Status::Corruption("mahalanobis overrun");
+  spec.mahalanobis_l.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VDB_ASSIGN_OR_RETURN(spec.mahalanobis_l[i], r->F32());
+  }
+  return spec;
+}
+
+}  // namespace vdb
+
+#endif  // VDB_STORAGE_SERIALIZER_H_

@@ -1,0 +1,103 @@
+#ifndef VDB_STORAGE_VECTOR_STORE_H_
+#define VDB_STORAGE_VECTOR_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb {
+
+/// In-memory slab of full-precision vectors with stable external ids and
+/// tombstones — the "Vector Storage" box of the paper's Figure 1. Indexes
+/// copy from here at build time; operators read through `Get` when
+/// re-checking or re-ranking.
+class VectorStore {
+ public:
+  explicit VectorStore(std::size_t dim) : dim_(dim), data_(0, dim) {}
+
+  std::size_t dim() const { return dim_; }
+  std::size_t live_count() const { return live_count_; }
+  std::size_t total_rows() const { return data_.rows(); }
+
+  /// Inserts a vector under `id`; rejects live duplicates. Re-inserting a
+  /// deleted id appends a fresh row and repoints the id (slab space of the
+  /// old row is reclaimed at the next Snapshot-based rebuild).
+  Status Put(VectorId id, const float* vec) {
+    auto it = row_of_.find(id);
+    if (it != row_of_.end() && !deleted_.Test(it->second)) {
+      return Status::AlreadyExists("id exists");
+    }
+    row_of_[id] = data_.rows();
+    data_.AppendRow(vec, dim_);
+    ids_.push_back(id);
+    deleted_.Resize(data_.rows());
+    if (it != row_of_.end()) {
+      // The stale row keeps its tombstone; ids_ entry for it is skipped at
+      // snapshot time because `deleted_` covers it.
+    }
+    ++live_count_;
+    return Status::Ok();
+  }
+
+  /// Pointer to the stored vector, or nullptr if missing/deleted.
+  const float* Get(VectorId id) const {
+    auto it = row_of_.find(id);
+    if (it == row_of_.end() || deleted_.Test(it->second)) return nullptr;
+    return data_.row(it->second);
+  }
+
+  bool Contains(VectorId id) const { return Get(id) != nullptr; }
+
+  Status Delete(VectorId id) {
+    auto it = row_of_.find(id);
+    if (it == row_of_.end() || deleted_.Test(it->second)) {
+      return Status::NotFound("id not present");
+    }
+    deleted_.Set(it->second);
+    --live_count_;
+    return Status::Ok();
+  }
+
+  /// Copies all live vectors (and their ids) into a dense matrix — the
+  /// input of an index build or segment compaction.
+  void Snapshot(FloatMatrix* vectors, std::vector<VectorId>* ids) const {
+    *vectors = FloatMatrix(live_count_, dim_);
+    ids->clear();
+    ids->reserve(live_count_);
+    std::size_t at = 0;
+    for (std::size_t row = 0; row < data_.rows(); ++row) {
+      if (deleted_.Test(row)) continue;
+      std::copy_n(data_.row(row), dim_, vectors->row(at++));
+      ids->push_back(ids_[row]);
+    }
+  }
+
+  /// All live ids, in insertion order.
+  std::vector<VectorId> LiveIds() const {
+    std::vector<VectorId> out;
+    out.reserve(live_count_);
+    for (std::size_t row = 0; row < data_.rows(); ++row) {
+      if (!deleted_.Test(row)) out.push_back(ids_[row]);
+    }
+    return out;
+  }
+
+  std::size_t MemoryBytes() const {
+    return data_.ByteSize() + ids_.size() * sizeof(VectorId);
+  }
+
+ private:
+  std::size_t dim_;
+  FloatMatrix data_;
+  std::vector<VectorId> ids_;
+  std::unordered_map<VectorId, std::size_t> row_of_;
+  Bitset deleted_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_STORAGE_VECTOR_STORE_H_

@@ -1,0 +1,259 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace vdb {
+
+namespace {
+
+constexpr std::uint8_t kInsertRecord = 1;
+constexpr std::uint8_t kDeleteRecord = 2;
+
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(v & 0xff);
+  out->push_back((v >> 8) & 0xff);
+}
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+void PutBytes(std::vector<std::uint8_t>* out, const void* data,
+              std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out->insert(out->end(), p, p + len);
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+  bool U8(std::uint8_t* v) { return Fixed(v, 1); }
+  bool U16(std::uint16_t* v) { return Fixed(v, 2); }
+  bool U32(std::uint32_t* v) { return Fixed(v, 4); }
+  bool U64(std::uint64_t* v) { return Fixed(v, 8); }
+  bool Bytes(void* out, std::size_t n) {
+    if (at_ + n > len_) return false;
+    std::memcpy(out, data_ + at_, n);
+    at_ += n;
+    return true;
+  }
+  std::size_t at() const { return at_; }
+
+ private:
+  template <typename T>
+  bool Fixed(T* v, std::size_t n) {
+    if (at_ + n > len_) return false;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc |= static_cast<std::uint64_t>(data_[at_ + i]) << (8 * i);
+    }
+    *v = static_cast<T>(acc);
+    at_ += n;
+    return true;
+  }
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+std::uint32_t Wal::Crc32(const std::uint8_t* data, std::size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  return Result<std::unique_ptr<Wal>>(std::unique_ptr<Wal>(new Wal(fd)));
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::AppendRecord(std::uint8_t type,
+                         const std::vector<std::uint8_t>& body) {
+  // Frame: [u32 body_len][u8 type][body][u32 crc(type+body)].
+  std::vector<std::uint8_t> frame;
+  frame.reserve(body.size() + 9);
+  PutU32(&frame, static_cast<std::uint32_t>(body.size()));
+  frame.push_back(type);
+  PutBytes(&frame, body.data(), body.size());
+  std::vector<std::uint8_t> crc_input;
+  crc_input.push_back(type);
+  PutBytes(&crc_input, body.data(), body.size());
+  PutU32(&frame, Crc32(crc_input.data(), crc_input.size()));
+  ssize_t put = ::write(fd_, frame.data(), frame.size());
+  if (put != static_cast<ssize_t>(frame.size())) {
+    return Status::IoError("wal write failed");
+  }
+  return Status::Ok();
+}
+
+Status Wal::AppendInsert(VectorId id, std::span<const float> vec,
+                         const std::vector<AttrBinding>& attrs) {
+  std::vector<std::uint8_t> body;
+  PutU64(&body, id);
+  PutU32(&body, static_cast<std::uint32_t>(vec.size()));
+  PutBytes(&body, vec.data(), vec.size() * sizeof(float));
+  PutU32(&body, static_cast<std::uint32_t>(attrs.size()));
+  for (const auto& a : attrs) {
+    PutU16(&body, static_cast<std::uint16_t>(a.column.size()));
+    PutBytes(&body, a.column.data(), a.column.size());
+    body.push_back(static_cast<std::uint8_t>(TypeOf(a.value)));
+    switch (TypeOf(a.value)) {
+      case AttrType::kInt64:
+        PutU64(&body,
+               static_cast<std::uint64_t>(std::get<std::int64_t>(a.value)));
+        break;
+      case AttrType::kDouble: {
+        double d = std::get<double>(a.value);
+        std::uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        PutU64(&body, bits);
+        break;
+      }
+      case AttrType::kString: {
+        const auto& s = std::get<std::string>(a.value);
+        PutU32(&body, static_cast<std::uint32_t>(s.size()));
+        PutBytes(&body, s.data(), s.size());
+        break;
+      }
+    }
+  }
+  return AppendRecord(kInsertRecord, body);
+}
+
+Status Wal::AppendDelete(VectorId id) {
+  std::vector<std::uint8_t> body;
+  PutU64(&body, id);
+  return AppendRecord(kDeleteRecord, body);
+}
+
+Status Wal::Sync() {
+  return ::fsync(fd_) == 0 ? Status::Ok() : Status::IoError("fsync failed");
+}
+
+Status Wal::Replay(const std::string& path, Visitor* visitor,
+                   std::size_t* applied) {
+  if (applied != nullptr) *applied = 0;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();  // nothing logged yet
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  std::vector<std::uint8_t> all(static_cast<std::size_t>(size));
+  if (size > 0 && ::pread(fd, all.data(), all.size(), 0) != size) {
+    ::close(fd);
+    return Status::IoError("wal read failed");
+  }
+  ::close(fd);
+
+  Reader file(all.data(), all.size());
+  while (true) {
+    std::uint32_t body_len;
+    if (!file.U32(&body_len)) break;  // clean EOF or torn length
+    std::uint8_t type;
+    if (!file.U8(&type)) break;
+    if (file.at() + body_len + 4 > all.size()) break;  // torn body
+    const std::uint8_t* body = all.data() + file.at();
+    std::vector<std::uint8_t> crc_input;
+    crc_input.push_back(type);
+    crc_input.insert(crc_input.end(), body, body + body_len);
+    std::vector<std::uint8_t> skip(body_len);
+    file.Bytes(skip.data(), body_len);
+    std::uint32_t stored_crc;
+    file.U32(&stored_crc);
+    if (Crc32(crc_input.data(), crc_input.size()) != stored_crc) break;
+
+    Reader rec(body, body_len);
+    if (type == kInsertRecord) {
+      std::uint64_t id;
+      std::uint32_t dim;
+      if (!rec.U64(&id) || !rec.U32(&dim)) break;
+      std::vector<float> vec(dim);
+      if (!rec.Bytes(vec.data(), dim * sizeof(float))) break;
+      std::uint32_t nattrs;
+      if (!rec.U32(&nattrs)) break;
+      std::vector<AttrBinding> attrs;
+      bool ok = true;
+      for (std::uint32_t a = 0; a < nattrs && ok; ++a) {
+        std::uint16_t name_len;
+        ok = rec.U16(&name_len);
+        if (!ok) break;
+        std::string name(name_len, '\0');
+        ok = rec.Bytes(name.data(), name_len);
+        if (!ok) break;
+        std::uint8_t vtype;
+        ok = rec.U8(&vtype);
+        if (!ok) break;
+        switch (static_cast<AttrType>(vtype)) {
+          case AttrType::kInt64: {
+            std::uint64_t v;
+            ok = rec.U64(&v);
+            if (ok) attrs.push_back({name, static_cast<std::int64_t>(v)});
+            break;
+          }
+          case AttrType::kDouble: {
+            std::uint64_t bits;
+            ok = rec.U64(&bits);
+            if (ok) {
+              double d;
+              std::memcpy(&d, &bits, 8);
+              attrs.push_back({name, d});
+            }
+            break;
+          }
+          case AttrType::kString: {
+            std::uint32_t len;
+            ok = rec.U32(&len);
+            if (!ok) break;
+            std::string s(len, '\0');
+            ok = rec.Bytes(s.data(), len);
+            if (ok) attrs.push_back({name, s});
+            break;
+          }
+          default:
+            ok = false;
+        }
+      }
+      if (!ok) break;
+      visitor->OnInsert(id, vec, attrs);
+    } else if (type == kDeleteRecord) {
+      std::uint64_t id;
+      if (!rec.U64(&id)) break;
+      visitor->OnDelete(id);
+    } else {
+      break;  // unknown record type: treat as corruption
+    }
+    if (applied != nullptr) ++(*applied);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb

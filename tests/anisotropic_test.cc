@@ -1,0 +1,146 @@
+// Tests for the score-aware anisotropic quantizer (ScaNN family): the
+// MIPS-recall / reconstruction-error tradeoff, eta=1 degeneration to
+// plain PQ, and input validation.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/rng.h"
+#include "core/synthetic.h"
+#include "core/topk.h"
+#include "quant/anisotropic.h"
+#include "quant/pq.h"
+
+namespace vdb {
+namespace {
+
+// MIPS recall@k of ranking by q . decode(encode(x)) against the exact
+// inner-product ranking.
+double MipsRecall(const Quantizer& quantizer, const FloatMatrix& data,
+                  const FloatMatrix& queries, std::size_t k) {
+  const std::size_t dim = data.cols();
+  FloatMatrix recon(data.rows(), dim);
+  std::vector<std::uint8_t> code(quantizer.code_size());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    quantizer.Encode(data.row(i), code.data());
+    quantizer.Decode(code.data(), recon.row(i));
+  }
+  auto scorer = Scorer::Create(MetricSpec::InnerProduct(), dim).value();
+  auto truth = GroundTruth(data, queries, scorer, k);
+  std::vector<std::vector<Neighbor>> approx(queries.rows());
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    TopK top(k);
+    for (std::size_t i = 0; i < recon.rows(); ++i) {
+      top.Push(i, scorer.Distance(queries.row(q), recon.row(i)));
+    }
+    approx[q] = top.Take();
+  }
+  return MeanRecall(approx, truth, k);
+}
+
+FloatMatrix MipsData(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  // Clustered directions with varying magnitudes: the regime where the
+  // parallel residual component controls inner-product accuracy.
+  SyntheticOptions opts;
+  opts.n = n;
+  opts.dim = dim;
+  opts.num_clusters = 16;
+  opts.seed = seed;
+  FloatMatrix data = UnitSphere(opts);
+  Rng rng(seed + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    float scale = 0.5f + 1.5f * static_cast<float>(rng.NextDouble());
+    for (std::size_t j = 0; j < dim; ++j) data.at(i, j) *= scale;
+  }
+  return data;
+}
+
+// Unit-norm queries aligned with datapoints (the MIPS serving regime:
+// queries resemble the items they should retrieve).
+FloatMatrix AlignedQueries(const FloatMatrix& data, std::size_t nq,
+                           std::uint64_t seed) {
+  FloatMatrix queries = PerturbedQueries(data, nq, 0.1f, seed);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    double norm_sq = 0;
+    for (std::size_t j = 0; j < queries.cols(); ++j) {
+      norm_sq += double(queries.at(q, j)) * queries.at(q, j);
+    }
+    float inv = norm_sq > 0 ? 1.0f / std::sqrt(float(norm_sq)) : 1.0f;
+    for (std::size_t j = 0; j < queries.cols(); ++j) queries.at(q, j) *= inv;
+  }
+  return queries;
+}
+
+TEST(AnisotropicPqTest, ValidatesEta) {
+  AnisotropicPqOptions opts;
+  opts.eta = 0.5f;
+  AnisotropicProductQuantizer apq(opts);
+  FloatMatrix data = MipsData(100, 16, 3);
+  EXPECT_FALSE(apq.Train(data).ok());
+}
+
+TEST(AnisotropicPqTest, EtaOneMatchesPlainPqAssignments) {
+  FloatMatrix data = MipsData(500, 16, 5);
+  PqOptions po;
+  po.m = 4;
+  ProductQuantizer pq(po);
+  ASSERT_TRUE(pq.Train(data).ok());
+  AnisotropicPqOptions ao;
+  ao.pq = po;
+  ao.eta = 1.0f;
+  AnisotropicProductQuantizer apq(ao);
+  ASSERT_TRUE(apq.Train(data).ok());
+  // eta = 1 makes the loss isotropic = squared L2: identical codes.
+  std::vector<std::uint8_t> ca(4), cb(4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    pq.Encode(data.row(i), ca.data());
+    apq.Encode(data.row(i), cb.data());
+    EXPECT_EQ(ca, cb) << "row " << i;
+  }
+}
+
+TEST(AnisotropicPqTest, TradesReconstructionForMipsRecall) {
+  FloatMatrix data = MipsData(3000, 32, 7);
+  FloatMatrix queries = AlignedQueries(data, 40, 11);
+
+  PqOptions po;
+  po.m = 8;
+  ProductQuantizer pq(po);
+  ASSERT_TRUE(pq.Train(data).ok());
+
+  AnisotropicPqOptions ao;
+  ao.pq = po;
+  ao.eta = 2.0f;
+  AnisotropicProductQuantizer apq(ao);
+  ASSERT_TRUE(apq.Train(data).ok());
+
+  double pq_mips = MipsRecall(pq, data, queries, 10);
+  double apq_mips = MipsRecall(apq, data, queries, 10);
+  double pq_mse = pq.ReconstructionError(data);
+  double apq_mse = apq.ReconstructionError(data);
+
+  // The score-aware tradeoff: better MIPS ranking, worse (or equal)
+  // isotropic reconstruction.
+  EXPECT_GE(apq_mips, pq_mips);
+  EXPECT_GE(apq_mse, pq_mse * 0.999);
+}
+
+TEST(AnisotropicPqTest, ZeroVectorFallsBackToIsotropic) {
+  FloatMatrix data = MipsData(300, 8, 9);
+  for (std::size_t j = 0; j < 8; ++j) data.at(0, j) = 0.0f;
+  AnisotropicPqOptions ao;
+  ao.pq.m = 2;
+  AnisotropicProductQuantizer apq(ao);
+  ASSERT_TRUE(apq.Train(data).ok());
+  std::vector<std::uint8_t> code(2);
+  apq.Encode(data.row(0), code.data());  // must not NaN / crash
+  std::vector<float> recon(8);
+  apq.Decode(code.data(), recon.data());
+  for (float v : recon) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace vdb

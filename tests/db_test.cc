@@ -1,0 +1,533 @@
+// Tests for the VDBMS facade: Collection lifecycle (insert/delete/upsert,
+// index building, delta visibility), every query type (knn, range, (c,k),
+// hybrid, batched, multi-vector), WAL recovery, LSM mode, the Database
+// registry, the embedder, and distributed scatter-gather with replicas.
+
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/rng.h"
+#include "core/synthetic.h"
+#include "db/collection.h"
+#include "db/database.h"
+#include "db/distributed.h"
+#include "db/embedder.h"
+#include "index/hnsw.h"
+#include "index/vamana.h"
+
+namespace vdb {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/vdb_db_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+IndexFactory HnswFactory() {
+  return [] {
+    HnswOptions o;
+    o.m = 8;
+    o.ef_construction = 64;
+    return std::make_unique<HnswIndex>(o);
+  };
+}
+
+CollectionOptions BaseOptions(std::size_t dim = 8) {
+  CollectionOptions opts;
+  opts.dim = dim;
+  opts.attributes = {{"category", AttrType::kInt64},
+                     {"price", AttrType::kDouble}};
+  opts.index_factory = HnswFactory();
+  return opts;
+}
+
+FloatMatrix TestData(std::size_t n, std::size_t dim, std::uint64_t seed = 3) {
+  SyntheticOptions opts;
+  opts.n = n;
+  opts.dim = dim;
+  opts.num_clusters = 8;
+  opts.seed = seed;
+  return GaussianClusters(opts);
+}
+
+// ------------------------------------------------------------- Collection
+
+TEST(CollectionTest, ValidatesOptions) {
+  CollectionOptions bad;
+  EXPECT_FALSE(Collection::Create(bad).ok());  // dim 0
+  CollectionOptions lsm = BaseOptions();
+  lsm.use_lsm = true;
+  lsm.index_factory = nullptr;
+  EXPECT_FALSE(Collection::Create(lsm).ok());  // LSM without factory
+  CollectionOptions emb = BaseOptions(8);
+  emb.embedder = std::make_shared<HashingNgramEmbedder>(16);
+  EXPECT_FALSE(Collection::Create(emb).ok());  // dim mismatch
+}
+
+TEST(CollectionTest, InsertSearchLifecycle) {
+  auto collection = Collection::Create(BaseOptions());
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(500, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i),
+                         {{"category", std::int64_t(i % 4)},
+                          {"price", double(i) * 0.5}})
+                    .ok());
+  }
+  EXPECT_EQ(c.Size(), 500u);
+  EXPECT_EQ(c.Insert(0, data.row_view(0)).code(), StatusCode::kAlreadyExists);
+  std::vector<float> wrong_dim(3, 0.0f);
+  EXPECT_FALSE(c.Insert(1000, wrong_dim).ok());  // dim mismatch
+
+  // Before BuildIndex: brute-force path still answers exactly.
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Knn(data.row_view(42), 1, &out).ok());
+  EXPECT_EQ(out[0].id, 42u);
+
+  ASSERT_TRUE(c.BuildIndex().ok());
+  EXPECT_EQ(c.UnindexedRows(), 0u);
+  SearchStats stats;
+  ASSERT_TRUE(c.Knn(data.row_view(42), 5, &out, &stats).ok());
+  EXPECT_EQ(out[0].id, 42u);
+  // Indexed search touches far fewer vectors than a scan.
+  EXPECT_LT(stats.distance_comps, 400u);
+}
+
+TEST(CollectionTest, DeltaRowsVisibleWithoutRebuild) {
+  CollectionOptions opts = BaseOptions();
+  // A non-incremental index (Vamana) forces the delta path.
+  opts.index_factory = [] {
+    VamanaOptions o;
+    o.r = 12;
+    o.l = 32;
+    return std::make_unique<VamanaIndex>(o);
+  };
+  auto collection = Collection::Create(opts);
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(300, 8);
+  for (std::size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  for (std::size_t i = 200; i < 300; ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i)).ok());
+  }
+  EXPECT_EQ(c.UnindexedRows(), 100u);
+  // A fresh (unindexed) row is still findable.
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Knn(data.row_view(250), 1, &out).ok());
+  EXPECT_EQ(out[0].id, 250u);
+  ASSERT_TRUE(c.BuildIndex().ok());
+  EXPECT_EQ(c.UnindexedRows(), 0u);
+}
+
+TEST(CollectionTest, DeleteAndUpsert) {
+  auto collection = Collection::Create(BaseOptions());
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(100, 8);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  ASSERT_TRUE(c.Delete(7).ok());
+  EXPECT_EQ(c.Delete(7).code(), StatusCode::kNotFound);
+  EXPECT_EQ(c.Size(), 99u);
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Knn(data.row_view(7), 3, &out).ok());
+  for (const auto& nb : out) EXPECT_NE(nb.id, 7u);
+
+  // Upsert moves id 8 to where id 7 was.
+  ASSERT_TRUE(c.Upsert(8, data.row_view(7)).ok());
+  ASSERT_TRUE(c.Knn(data.row_view(7), 1, &out).ok());
+  EXPECT_EQ(out[0].id, 8u);
+}
+
+TEST(CollectionTest, RangeAndCkSearch) {
+  auto collection = Collection::Create(BaseOptions());
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(400, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+
+  // Range: exact by construction.
+  std::vector<Neighbor> range;
+  ASSERT_TRUE(c.RangeSearch(data.row_view(0), 0.05f, &range).ok());
+  ASSERT_FALSE(range.empty());
+  EXPECT_EQ(range[0].id, 0u);
+  for (const auto& nb : range) EXPECT_LE(nb.dist, 0.05f);
+
+  // (c,k): c=1 demands exact; verification must confirm it.
+  auto ck = c.CkSearch(data.row_view(5), 1.0, 10);
+  ASSERT_TRUE(ck.ok());
+  EXPECT_TRUE(ck->satisfied);
+  EXPECT_LE(ck->achieved_ratio, 1.0 + 1e-6);
+  EXPECT_EQ(ck->neighbors.size(), 10u);
+  // c must be >= 1.
+  EXPECT_FALSE(c.CkSearch(data.row_view(5), 0.5, 10).ok());
+}
+
+TEST(CollectionTest, HybridUsesOptimizerAndHonorsPredicate) {
+  CollectionOptions opts = BaseOptions();
+  opts.plan_mode = PlanMode::kCostBased;
+  auto collection = Collection::Create(opts);
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(600, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i),
+                         {{"category", std::int64_t(i % 4)},
+                          {"price", double(i % 100)}})
+                    .ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto pred = Predicate::Cmp("category", CmpOp::kEq, std::int64_t{2});
+  std::vector<Neighbor> out;
+  ExecStats stats;
+  ASSERT_TRUE(c.Hybrid(data.row_view(10), pred, 5, &out, &stats).ok());
+  for (const auto& nb : out) EXPECT_EQ(nb.id % 4, 2u);
+  EXPECT_GT(stats.est_selectivity, 0.0);
+
+  auto plan = c.ExplainHybrid(pred);
+  ASSERT_TRUE(plan.ok());
+
+  // Forced plan is honored.
+  HybridPlan forced{PlanKind::kBruteForceHybrid, 3.0f};
+  ExecStats forced_stats;
+  ASSERT_TRUE(
+      c.Hybrid(data.row_view(10), pred, 5, &out, &forced_stats, &forced).ok());
+  EXPECT_EQ(forced_stats.bitmask_rows, c.attributes().NumRows());
+}
+
+TEST(CollectionTest, PredefinedPlanMode) {
+  CollectionOptions opts = BaseOptions();
+  opts.plan_mode = PlanMode::kPredefined;
+  opts.predefined_plan = {PlanKind::kVisitFirstIndexScan, 3.0f};
+  auto collection = Collection::Create(opts);
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(300, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i),
+                         {{"category", std::int64_t(i % 2)}})
+                    .ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  auto plan = c.ExplainHybrid(Predicate::True());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kind, PlanKind::kVisitFirstIndexScan);
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Hybrid(data.row_view(0),
+                       Predicate::Cmp("category", CmpOp::kEq, std::int64_t{0}),
+                       5, &out)
+                  .ok());
+  for (const auto& nb : out) EXPECT_EQ(nb.id % 2, 0u);
+}
+
+TEST(CollectionTest, BatchKnnFastPathMatchesSequential) {
+  auto collection = Collection::Create(BaseOptions());
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(500, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE(c.BuildIndex().ok());
+  FloatMatrix queries = PerturbedQueries(data, 16, 0.01f, 9);
+  std::vector<std::vector<Neighbor>> batch;
+  ASSERT_TRUE(c.BatchKnn(queries, 5, &batch).ok());
+  ASSERT_EQ(batch.size(), 16u);
+  for (std::size_t q = 0; q < 16; ++q) {
+    std::vector<Neighbor> single;
+    ASSERT_TRUE(c.Knn(queries.row_view(q), 5, &single).ok());
+    ASSERT_FALSE(batch[q].empty());
+    EXPECT_EQ(batch[q][0].id, single[0].id);
+  }
+}
+
+TEST(CollectionTest, MultiVectorEntities) {
+  auto collection = Collection::Create(BaseOptions());
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  Rng rng(17);
+  // 50 entities x 3 vectors each.
+  for (VectorId e = 0; e < 50; ++e) {
+    FloatMatrix vecs(3, 8);
+    for (std::size_t v = 0; v < 3; ++v) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        vecs.at(v, j) = static_cast<float>(e) + 0.05f * rng.NextGaussian();
+      }
+    }
+    ASSERT_TRUE(
+        c.InsertEntity(e, vecs, {{"category", std::int64_t(e % 2)}}).ok());
+  }
+  EXPECT_EQ(c.Size(), 50u);
+
+  // Plain knn maps member hits back to entities.
+  std::vector<float> query(8, 20.0f);
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Knn(query, 3, &out).ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].id, 20u);
+  // No duplicate entities in results.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_NE(out[i].id, out[0].id);
+  }
+
+  // Multi-vector query via aggregate scores.
+  FloatMatrix mv_query(2, 8);
+  for (std::size_t j = 0; j < 8; ++j) {
+    mv_query.at(0, j) = 30.0f;
+    mv_query.at(1, j) = 30.1f;
+  }
+  auto agg = Aggregator::Create(AggregateKind::kMean).value();
+  ASSERT_TRUE(c.MultiVectorKnn(mv_query, agg, 3, &out).ok());
+  EXPECT_EQ(out[0].id, 30u);
+
+  // Entity delete cascades.
+  ASSERT_TRUE(c.Delete(30).ok());
+  ASSERT_TRUE(c.MultiVectorKnn(mv_query, agg, 3, &out).ok());
+  EXPECT_NE(out[0].id, 30u);
+  EXPECT_EQ(c.Size(), 49u);
+}
+
+TEST(CollectionTest, WalRecoveryRoundTrip) {
+  std::string wal = TempPath("wal");
+  FloatMatrix data = TestData(50, 8);
+  {
+    CollectionOptions opts = BaseOptions();
+    opts.wal_path = wal;
+    auto collection = Collection::Open(opts);
+    ASSERT_TRUE(collection.ok());
+    for (std::size_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*collection)
+                      ->Insert(i, data.row_view(i),
+                               {{"category", std::int64_t(i % 3)}})
+                      .ok());
+    }
+    ASSERT_TRUE((*collection)->Delete(9).ok());
+  }
+  // Reopen: state is rebuilt from the log.
+  CollectionOptions opts = BaseOptions();
+  opts.wal_path = wal;
+  auto reopened = Collection::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Size(), 49u);
+  std::vector<Neighbor> out;
+  ASSERT_TRUE((*reopened)->Knn(data.row_view(3), 1, &out).ok());
+  EXPECT_EQ(out[0].id, 3u);
+  ASSERT_TRUE((*reopened)->Knn(data.row_view(9), 1, &out).ok());
+  EXPECT_NE(out[0].id, 9u);
+  // Attributes recovered too.
+  auto v = (*reopened)->attributes().Get(4, "category");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(std::get<std::int64_t>(*v), 1);
+}
+
+TEST(CollectionTest, LsmModeAbsorbsUpdatesWithoutRebuilds) {
+  CollectionOptions opts = BaseOptions();
+  opts.use_lsm = true;
+  opts.lsm_memtable_limit = 64;
+  auto collection = Collection::Create(opts);
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  FloatMatrix data = TestData(400, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE(c.Insert(i, data.row_view(i),
+                         {{"category", std::int64_t(i % 2)}})
+                    .ok());
+  }
+  EXPECT_EQ(c.UnindexedRows(), 0u);  // LSM mode: segments self-index
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Knn(data.row_view(123), 1, &out).ok());
+  EXPECT_EQ(out[0].id, 123u);
+  ASSERT_TRUE(c.Delete(123).ok());
+  ASSERT_TRUE(c.Knn(data.row_view(123), 1, &out).ok());
+  EXPECT_NE(out[0].id, 123u);
+  // Hybrid in LSM mode (single-stage through segments).
+  auto pred = Predicate::Cmp("category", CmpOp::kEq, std::int64_t{1});
+  ASSERT_TRUE(c.Hybrid(data.row_view(10), pred, 5, &out).ok());
+  for (const auto& nb : out) EXPECT_EQ(nb.id % 2, 1u);
+}
+
+// --------------------------------------------------------------- Embedder
+
+TEST(EmbedderTest, DeterministicNormalizedAndSimilarityOrdering) {
+  HashingNgramEmbedder embedder(64);
+  auto a1 = embedder.Embed("red running shoes");
+  auto a2 = embedder.Embed("red running shoes");
+  EXPECT_EQ(a1, a2);
+  double norm = 0;
+  for (float v : a1) norm += double(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  // Overlapping text is closer than unrelated text.
+  auto near = embedder.Embed("blue running shoes");
+  auto far = embedder.Embed("quantum flux capacitor");
+  auto scorer = Scorer::Create(MetricSpec::Cosine(), 64).value();
+  EXPECT_LT(scorer.Distance(a1.data(), near.data()),
+            scorer.Distance(a1.data(), far.data()));
+}
+
+TEST(CollectionTest, InsertTextViaEmbedder) {
+  CollectionOptions opts;
+  opts.dim = 64;
+  opts.metric = MetricSpec::Cosine();
+  opts.attributes = {{"category", AttrType::kInt64}};
+  opts.index_factory = HnswFactory();
+  opts.embedder = std::make_shared<HashingNgramEmbedder>(64);
+  auto collection = Collection::Create(opts);
+  ASSERT_TRUE(collection.ok());
+  auto& c = **collection;
+  ASSERT_TRUE(c.InsertText(0, "red running shoes").ok());
+  ASSERT_TRUE(c.InsertText(1, "blue running shoes").ok());
+  ASSERT_TRUE(c.InsertText(2, "cast iron skillet").ok());
+  auto query = opts.embedder->Embed("crimson running shoe");
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(c.Knn(query, 2, &out).ok());
+  // Both shoe documents beat the skillet.
+  EXPECT_NE(out[0].id, 2u);
+  EXPECT_NE(out[1].id, 2u);
+}
+
+// --------------------------------------------------------------- Database
+
+TEST(DatabaseTest, Registry) {
+  Database db;
+  auto created = db.CreateCollection("products", BaseOptions());
+  ASSERT_TRUE(created.ok());
+  EXPECT_FALSE(db.CreateCollection("products", BaseOptions()).ok());
+  ASSERT_TRUE(db.GetCollection("products").ok());
+  EXPECT_FALSE(db.GetCollection("missing").ok());
+  EXPECT_EQ(db.ListCollections().size(), 1u);
+  ASSERT_TRUE(db.DropCollection("products").ok());
+  EXPECT_EQ(db.DropCollection("products").code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------ Distributed
+
+TEST(ShardedTest, ScatterGatherMatchesSingleNode) {
+  ShardedOptions opts;
+  opts.num_shards = 4;
+  opts.collection = BaseOptions();
+  auto sharded = ShardedCollection::Create(opts);
+  ASSERT_TRUE(sharded.ok());
+  auto single = Collection::Create(BaseOptions());
+  ASSERT_TRUE(single.ok());
+
+  FloatMatrix data = TestData(800, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE((*sharded)->Insert(i, data.row_view(i)).ok());
+    ASSERT_TRUE((*single)->Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE((*sharded)->BuildIndexes().ok());
+  ASSERT_TRUE((*single)->BuildIndex().ok());
+  EXPECT_EQ((*sharded)->Size(), 800u);
+
+  FloatMatrix queries = PerturbedQueries(data, 10, 0.01f, 4);
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<Neighbor> sh, si;
+    ASSERT_TRUE((*sharded)->Knn(queries.row_view(q), 5, &sh).ok());
+    ASSERT_TRUE((*single)->Knn(queries.row_view(q), 5, &si).ok());
+    ASSERT_FALSE(sh.empty());
+    EXPECT_EQ(sh[0].id, si[0].id);
+  }
+  // Sequential == parallel results.
+  std::vector<Neighbor> par, seq;
+  ASSERT_TRUE(
+      (*sharded)->Knn(queries.row_view(0), 5, &par, nullptr, true).ok());
+  ASSERT_TRUE(
+      (*sharded)->Knn(queries.row_view(0), 5, &seq, nullptr, false).ok());
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < par.size(); ++i) EXPECT_EQ(par[i].id, seq[i].id);
+}
+
+TEST(ShardedTest, IndexGuidedRoutingPrunesShards) {
+  ShardedOptions opts;
+  opts.num_shards = 4;
+  opts.policy = ShardingPolicy::kIndexGuided;
+  opts.collection = BaseOptions();
+  auto sharded = ShardedCollection::Create(opts);
+  ASSERT_TRUE(sharded.ok());
+  FloatMatrix data = TestData(800, 8);
+  // Router must be trained first.
+  EXPECT_EQ((*sharded)->Insert(0, data.row_view(0)).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE((*sharded)->TrainRouter(data).ok());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE((*sharded)->Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE((*sharded)->BuildIndexes().ok());
+
+  FloatMatrix queries = PerturbedQueries(data, 20, 0.01f, 4);
+  // Probing 1 of 4 shards still finds the true top-1 for most queries
+  // (similar vectors share a shard — the point of index-guided placement).
+  int hits = 0;
+  for (std::size_t q = 0; q < queries.rows(); ++q) {
+    std::vector<Neighbor> pruned, full;
+    ASSERT_TRUE((*sharded)
+                    ->Knn(queries.row_view(q), 1, &pruned, nullptr, false,
+                          false, /*shards_to_probe=*/1)
+                    .ok());
+    ASSERT_TRUE((*sharded)->Knn(queries.row_view(q), 1, &full).ok());
+    hits += !pruned.empty() && pruned[0].id == full[0].id;
+  }
+  EXPECT_GE(hits, 18);
+}
+
+TEST(ShardedTest, ReplicaStalenessAndSync) {
+  ShardedOptions opts;
+  opts.num_shards = 2;
+  opts.replicas = 2;  // primary + one replica
+  opts.collection = BaseOptions();
+  auto sharded = ShardedCollection::Create(opts);
+  ASSERT_TRUE(sharded.ok());
+  FloatMatrix data = TestData(100, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE((*sharded)->Insert(i, data.row_view(i)).ok());
+  }
+  EXPECT_EQ((*sharded)->PendingReplicaOps(), 100u);
+  // Replica reads see nothing yet (stale).
+  std::vector<Neighbor> out;
+  ASSERT_TRUE((*sharded)
+                  ->Knn(data.row_view(0), 1, &out, nullptr, false,
+                        /*read_replicas=*/true)
+                  .ok());
+  EXPECT_TRUE(out.empty());
+  // After sync, replica reads serve the data.
+  ASSERT_TRUE((*sharded)->SyncReplicas().ok());
+  EXPECT_EQ((*sharded)->PendingReplicaOps(), 0u);
+  ASSERT_TRUE((*sharded)
+                  ->Knn(data.row_view(0), 1, &out, nullptr, false, true)
+                  .ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].id, 0u);
+}
+
+TEST(ShardedTest, DeleteRoutesAcrossShards) {
+  ShardedOptions opts;
+  opts.num_shards = 3;
+  opts.collection = BaseOptions();
+  auto sharded = ShardedCollection::Create(opts);
+  ASSERT_TRUE(sharded.ok());
+  FloatMatrix data = TestData(30, 8);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ASSERT_TRUE((*sharded)->Insert(i, data.row_view(i)).ok());
+  }
+  ASSERT_TRUE((*sharded)->Delete(17).ok());
+  EXPECT_EQ((*sharded)->Delete(17).code(), StatusCode::kNotFound);
+  EXPECT_EQ((*sharded)->Size(), 29u);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,293 @@
+// Tests for the disk substrate (PagedFile) and the disk-resident indexes
+// (DiskANN, SPANN): round-trips, I/O accounting, cache behaviour, fault
+// injection, recall floors, and closure replication.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval.h"
+#include "core/rng.h"
+#include "core/synthetic.h"
+#include "index/diskann.h"
+#include "index/spann.h"
+#include "storage/paged_file.h"
+
+namespace vdb {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/vdb_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+// -------------------------------------------------------------- PagedFile
+
+TEST(PagedFileTest, WriteReadRoundTrip) {
+  auto file = PagedFile::Create(TempPath("pf_rw"));
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> out(4096), in(4096);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>(i * 7);
+  ASSERT_TRUE((*file)->WritePage(3, out.data()).ok());  // sparse write
+  EXPECT_EQ((*file)->num_pages(), 4u);
+  ASSERT_TRUE((*file)->ReadPage(3, in.data()).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_EQ((*file)->reads(), 1u);
+  EXPECT_EQ((*file)->writes(), 1u);
+}
+
+TEST(PagedFileTest, ReadBeyondEndFails) {
+  auto file = PagedFile::Create(TempPath("pf_oob"));
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> buf(4096);
+  EXPECT_EQ((*file)->ReadPage(0, buf.data()).code(), StatusCode::kOutOfRange);
+}
+
+TEST(PagedFileTest, RejectsBadPageSize) {
+  PagedFileOptions opts;
+  opts.page_size = 1000;  // not a multiple of 512
+  EXPECT_FALSE(PagedFile::Create(TempPath("pf_bad"), opts).ok());
+}
+
+TEST(PagedFileTest, CacheSuppressesPhysicalReads) {
+  PagedFileOptions opts;
+  opts.cache_pages = 2;
+  auto file = PagedFile::Create(TempPath("pf_cache"), opts);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> buf(4096, 1);
+  for (std::uint64_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE((*file)->WritePage(p, buf.data()).ok());
+  }
+  (*file)->ResetCounters();
+  // Page 0 was evicted by writes of 1,2 (cache holds 2 pages).
+  ASSERT_TRUE((*file)->ReadPage(0, buf.data()).ok());
+  EXPECT_EQ((*file)->reads(), 1u);
+  // Immediately re-reading hits the cache.
+  ASSERT_TRUE((*file)->ReadPage(0, buf.data()).ok());
+  EXPECT_EQ((*file)->reads(), 1u);
+  EXPECT_EQ((*file)->cache_hits(), 1u);
+}
+
+TEST(PagedFileTest, PersistsAcrossReopen) {
+  std::string path = TempPath("pf_reopen");
+  std::vector<std::uint8_t> out(4096, 0xAB), in(4096);
+  {
+    auto file = PagedFile::Create(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WritePage(0, out.data()).ok());
+  }
+  auto reopened = PagedFile::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_pages(), 1u);
+  ASSERT_TRUE((*reopened)->ReadPage(0, in.data()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(PagedFileTest, FaultInjectionSurfacesIoError) {
+  auto file = PagedFile::Create(TempPath("pf_fault"));
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> buf(4096, 5);
+  ASSERT_TRUE((*file)->WritePage(0, buf.data()).ok());
+  ASSERT_TRUE((*file)->WritePage(1, buf.data()).ok());
+  (*file)->InjectReadFaultAfter(1);
+  EXPECT_TRUE((*file)->ReadPage(0, buf.data()).ok());
+  EXPECT_EQ((*file)->ReadPage(1, buf.data()).code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------------------ disk indexes
+
+struct DiskFixture {
+  FloatMatrix data;
+  FloatMatrix queries;
+  std::vector<std::vector<Neighbor>> truth;
+};
+
+const DiskFixture& SharedDiskFixture() {
+  static const DiskFixture* fx = [] {
+    auto* f = new DiskFixture();
+    SyntheticOptions opts;
+    opts.n = 3000;
+    opts.dim = 24;
+    opts.num_clusters = 16;
+    opts.seed = 11;
+    f->data = GaussianClusters(opts);
+    f->queries = PerturbedQueries(f->data, 30, 0.02f, 5);
+    auto scorer = Scorer::Create(MetricSpec::L2(), opts.dim).value();
+    f->truth = GroundTruth(f->data, f->queries, scorer, 10);
+    return f;
+  }();
+  return *fx;
+}
+
+TEST(DiskAnnTest, RecallWithBoundedIo) {
+  const auto& fx = SharedDiskFixture();
+  DiskAnnOptions opts;
+  opts.pq.m = 4;
+  DiskAnnIndex index(TempPath("diskann"), opts);
+  ASSERT_TRUE(index.Build(fx.data, {}).ok());
+  EXPECT_EQ(index.Size(), fx.data.rows());
+  EXPECT_GT(index.DiskBytes(), 0u);
+  // In-memory footprint far below the raw data (the point of DiskANN).
+  EXPECT_LT(index.MemoryBytes(), fx.data.ByteSize() / 2);
+
+  SearchParams p;
+  p.k = 10;
+  p.ef = 32;
+  p.beam_width = 4;
+  std::vector<std::vector<Neighbor>> results(fx.queries.rows());
+  SearchStats stats;
+  for (std::size_t q = 0; q < fx.queries.rows(); ++q) {
+    ASSERT_TRUE(index.Search(fx.queries.row(q), p, &results[q], &stats).ok());
+  }
+  EXPECT_GE(MeanRecall(results, fx.truth, 10), 0.75);
+  EXPECT_GT(stats.io_reads, 0u);
+  // Beam search reads far fewer pages than scanning the file per query.
+  std::uint64_t full_scan_pages =
+      index.DiskBytes() / 4096 * fx.queries.rows();
+  EXPECT_LT(stats.io_reads, full_scan_pages / 2);
+}
+
+TEST(DiskAnnTest, WiderBeamMoreIoMoreRecall) {
+  const auto& fx = SharedDiskFixture();
+  DiskAnnOptions opts;
+  opts.pq.m = 4;
+  DiskAnnIndex index(TempPath("diskann_beam"), opts);
+  ASSERT_TRUE(index.Build(fx.data, {}).ok());
+  double recalls[2];
+  std::uint64_t ios[2];
+  int efs[2] = {16, 128};
+  for (int t = 0; t < 2; ++t) {
+    SearchParams p;
+    p.k = 10;
+    p.ef = efs[t];
+    SearchStats stats;
+    std::vector<std::vector<Neighbor>> results(fx.queries.rows());
+    for (std::size_t q = 0; q < fx.queries.rows(); ++q) {
+      ASSERT_TRUE(
+          index.Search(fx.queries.row(q), p, &results[q], &stats).ok());
+    }
+    recalls[t] = MeanRecall(results, fx.truth, 10);
+    ios[t] = stats.io_reads;
+  }
+  EXPECT_GT(recalls[1], recalls[0] - 1e-9);
+  EXPECT_GT(ios[1], ios[0]);
+}
+
+TEST(DiskAnnTest, RemoveExcludesFromResults) {
+  const auto& fx = SharedDiskFixture();
+  DiskAnnOptions opts;
+  opts.pq.m = 4;
+  DiskAnnIndex index(TempPath("diskann_rm"), opts);
+  ASSERT_TRUE(index.Build(fx.data, {}).ok());
+  VectorId victim = fx.truth[0][0].id;
+  ASSERT_TRUE(index.Remove(victim).ok());
+  SearchParams p;
+  p.k = 10;
+  p.ef = 64;
+  std::vector<Neighbor> results;
+  ASSERT_TRUE(index.Search(fx.queries.row(0), p, &results).ok());
+  for (const auto& nb : results) EXPECT_NE(nb.id, victim);
+}
+
+TEST(DiskAnnTest, RejectsOversizedNodeBlock) {
+  DiskAnnOptions opts;
+  opts.vamana.r = 2000;  // adjacency alone exceeds a 4K page
+  DiskAnnIndex index(TempPath("diskann_big"), opts);
+  FloatMatrix data(10, 8);
+  EXPECT_FALSE(index.Build(data, {}).ok());
+}
+
+TEST(SpannTest, RecallAndReplication) {
+  const auto& fx = SharedDiskFixture();
+  SpannOptions opts;
+  opts.nlist = 64;
+  SpannIndex index(TempPath("spann"), opts);
+  ASSERT_TRUE(index.Build(fx.data, {}).ok());
+  EXPECT_GE(index.ReplicationFactor(), 1.0);
+  EXPECT_LE(index.ReplicationFactor(), opts.max_replicas);
+  // Memory holds centroids only — far below the raw data.
+  EXPECT_LT(index.MemoryBytes(), fx.data.ByteSize() / 4);
+
+  SearchParams p;
+  p.k = 10;
+  p.nprobe = 8;
+  SearchStats stats;
+  std::vector<std::vector<Neighbor>> results(fx.queries.rows());
+  for (std::size_t q = 0; q < fx.queries.rows(); ++q) {
+    ASSERT_TRUE(index.Search(fx.queries.row(q), p, &results[q], &stats).ok());
+  }
+  EXPECT_GE(MeanRecall(results, fx.truth, 10), 0.85);
+  EXPECT_GT(stats.io_reads, 0u);
+}
+
+TEST(SpannTest, QueryEpsTradesIoForRecall) {
+  const auto& fx = SharedDiskFixture();
+  SpannOptions opts;
+  opts.nlist = 64;
+  SpannIndex index(TempPath("spann_eps"), opts);
+  ASSERT_TRUE(index.Build(fx.data, {}).ok());
+  double recalls[2];
+  std::uint64_t ios[2];
+  float epses[2] = {0.0f, 0.6f};
+  for (int t = 0; t < 2; ++t) {
+    SearchParams p;
+    p.k = 10;
+    p.nprobe = 16;
+    p.spann_eps = epses[t];
+    SearchStats stats;
+    std::vector<std::vector<Neighbor>> results(fx.queries.rows());
+    for (std::size_t q = 0; q < fx.queries.rows(); ++q) {
+      ASSERT_TRUE(
+          index.Search(fx.queries.row(q), p, &results[q], &stats).ok());
+    }
+    recalls[t] = MeanRecall(results, fx.truth, 10);
+    ios[t] = stats.io_reads;
+  }
+  EXPECT_GE(recalls[1], recalls[0] - 1e-9);
+  EXPECT_GT(ios[1], ios[0]);
+}
+
+TEST(SpannTest, ClosureBeatsNoClosureAtSameProbes) {
+  const auto& fx = SharedDiskFixture();
+  double recalls[2];
+  float closures[2] = {0.0f, 0.25f};
+  for (int t = 0; t < 2; ++t) {
+    SpannOptions opts;
+    opts.nlist = 64;
+    opts.closure_eps = closures[t];
+    SpannIndex index(TempPath("spann_cl" + std::to_string(t)), opts);
+    ASSERT_TRUE(index.Build(fx.data, {}).ok());
+    SearchParams p;
+    p.k = 10;
+    p.nprobe = 2;  // tight probe budget: boundary misses dominate
+    p.spann_eps = 10.0f;
+    std::vector<std::vector<Neighbor>> results(fx.queries.rows());
+    for (std::size_t q = 0; q < fx.queries.rows(); ++q) {
+      ASSERT_TRUE(index.Search(fx.queries.row(q), p, &results[q]).ok());
+    }
+    recalls[t] = MeanRecall(results, fx.truth, 10);
+  }
+  EXPECT_GE(recalls[1], recalls[0]);
+}
+
+TEST(SpannTest, FilteredSearchHonorsPredicate) {
+  const auto& fx = SharedDiskFixture();
+  SpannOptions opts;
+  SpannIndex index(TempPath("spann_filter"), opts);
+  ASSERT_TRUE(index.Build(fx.data, {}).ok());
+  Bitset allowed(fx.data.rows());
+  for (std::size_t i = 0; i < fx.data.rows(); i += 3) allowed.Set(i);
+  BitsetIdFilter filter(&allowed);
+  SearchParams p;
+  p.k = 10;
+  p.filter = &filter;
+  std::vector<Neighbor> results;
+  ASSERT_TRUE(index.Search(fx.queries.row(0), p, &results).ok());
+  for (const auto& nb : results) EXPECT_TRUE(allowed.Test(nb.id));
+}
+
+}  // namespace
+}  // namespace vdb
