@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_cost.dir/bench_build_cost.cc.o"
+  "CMakeFiles/bench_build_cost.dir/bench_build_cost.cc.o.d"
+  "bench_build_cost"
+  "bench_build_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

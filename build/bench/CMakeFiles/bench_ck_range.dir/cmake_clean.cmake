@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ck_range.dir/bench_ck_range.cc.o"
+  "CMakeFiles/bench_ck_range.dir/bench_ck_range.cc.o.d"
+  "bench_ck_range"
+  "bench_ck_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ck_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

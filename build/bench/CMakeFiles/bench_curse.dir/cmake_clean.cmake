@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_curse.dir/bench_curse.cc.o"
+  "CMakeFiles/bench_curse.dir/bench_curse.cc.o.d"
+  "bench_curse"
+  "bench_curse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_curse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_indexes.dir/bench_disk_indexes.cc.o"
+  "CMakeFiles/bench_disk_indexes.dir/bench_disk_indexes.cc.o.d"
+  "bench_disk_indexes"
+  "bench_disk_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

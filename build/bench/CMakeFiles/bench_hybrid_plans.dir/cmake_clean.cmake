@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_plans.dir/bench_hybrid_plans.cc.o"
+  "CMakeFiles/bench_hybrid_plans.dir/bench_hybrid_plans.cc.o.d"
+  "bench_hybrid_plans"
+  "bench_hybrid_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

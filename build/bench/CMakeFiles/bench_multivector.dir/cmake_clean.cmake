@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multivector.dir/bench_multivector.cc.o"
+  "CMakeFiles/bench_multivector.dir/bench_multivector.cc.o.d"
+  "bench_multivector"
+  "bench_multivector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multivector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

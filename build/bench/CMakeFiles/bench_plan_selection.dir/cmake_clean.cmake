@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_selection.dir/bench_plan_selection.cc.o"
+  "CMakeFiles/bench_plan_selection.dir/bench_plan_selection.cc.o.d"
+  "bench_plan_selection"
+  "bench_plan_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

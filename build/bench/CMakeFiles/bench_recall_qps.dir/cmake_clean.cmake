@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recall_qps.dir/bench_recall_qps.cc.o"
+  "CMakeFiles/bench_recall_qps.dir/bench_recall_qps.cc.o.d"
+  "bench_recall_qps"
+  "bench_recall_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recall_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_search.dir/product_search.cpp.o"
+  "CMakeFiles/product_search.dir/product_search.cpp.o.d"
+  "product_search"
+  "product_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

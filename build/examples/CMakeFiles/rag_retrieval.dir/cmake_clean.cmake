@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_retrieval.dir/rag_retrieval.cpp.o"
+  "CMakeFiles/rag_retrieval.dir/rag_retrieval.cpp.o.d"
+  "rag_retrieval"
+  "rag_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdbsh.dir/vdbsh.cpp.o"
+  "CMakeFiles/vdbsh.dir/vdbsh.cpp.o.d"
+  "vdbsh"
+  "vdbsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdbsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

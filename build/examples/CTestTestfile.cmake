@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;vdb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_product_search "/root/repo/build/examples/product_search")
+set_tests_properties(example_product_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;vdb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rag_retrieval "/root/repo/build/examples/rag_retrieval")
+set_tests_properties(example_rag_retrieval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;vdb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed_search "/root/repo/build/examples/distributed_search")
+set_tests_properties(example_distributed_search PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;vdb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_durability_tour "/root/repo/build/examples/durability_tour")
+set_tests_properties(example_durability_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;vdb_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vdbsh "/root/repo/build/examples/vdbsh")
+set_tests_properties(example_vdbsh PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;vdb_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distance.cc" "src/CMakeFiles/vdb.dir/core/distance.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/distance.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/CMakeFiles/vdb.dir/core/eval.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/eval.cc.o.d"
+  "/root/repo/src/core/kmeans.cc" "src/CMakeFiles/vdb.dir/core/kmeans.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/kmeans.cc.o.d"
+  "/root/repo/src/core/linalg.cc" "src/CMakeFiles/vdb.dir/core/linalg.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/linalg.cc.o.d"
+  "/root/repo/src/core/metric_learning.cc" "src/CMakeFiles/vdb.dir/core/metric_learning.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/metric_learning.cc.o.d"
+  "/root/repo/src/core/score_selection.cc" "src/CMakeFiles/vdb.dir/core/score_selection.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/score_selection.cc.o.d"
+  "/root/repo/src/core/simd.cc" "src/CMakeFiles/vdb.dir/core/simd.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/simd.cc.o.d"
+  "/root/repo/src/core/synthetic.cc" "src/CMakeFiles/vdb.dir/core/synthetic.cc.o" "gcc" "src/CMakeFiles/vdb.dir/core/synthetic.cc.o.d"
+  "/root/repo/src/db/collection.cc" "src/CMakeFiles/vdb.dir/db/collection.cc.o" "gcc" "src/CMakeFiles/vdb.dir/db/collection.cc.o.d"
+  "/root/repo/src/db/distributed.cc" "src/CMakeFiles/vdb.dir/db/distributed.cc.o" "gcc" "src/CMakeFiles/vdb.dir/db/distributed.cc.o.d"
+  "/root/repo/src/db/embedder.cc" "src/CMakeFiles/vdb.dir/db/embedder.cc.o" "gcc" "src/CMakeFiles/vdb.dir/db/embedder.cc.o.d"
+  "/root/repo/src/db/query_language.cc" "src/CMakeFiles/vdb.dir/db/query_language.cc.o" "gcc" "src/CMakeFiles/vdb.dir/db/query_language.cc.o.d"
+  "/root/repo/src/db/secure.cc" "src/CMakeFiles/vdb.dir/db/secure.cc.o" "gcc" "src/CMakeFiles/vdb.dir/db/secure.cc.o.d"
+  "/root/repo/src/exec/batch.cc" "src/CMakeFiles/vdb.dir/exec/batch.cc.o" "gcc" "src/CMakeFiles/vdb.dir/exec/batch.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/vdb.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/vdb.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/multivector.cc" "src/CMakeFiles/vdb.dir/exec/multivector.cc.o" "gcc" "src/CMakeFiles/vdb.dir/exec/multivector.cc.o.d"
+  "/root/repo/src/exec/optimizer.cc" "src/CMakeFiles/vdb.dir/exec/optimizer.cc.o" "gcc" "src/CMakeFiles/vdb.dir/exec/optimizer.cc.o.d"
+  "/root/repo/src/exec/partitioned_index.cc" "src/CMakeFiles/vdb.dir/exec/partitioned_index.cc.o" "gcc" "src/CMakeFiles/vdb.dir/exec/partitioned_index.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/CMakeFiles/vdb.dir/exec/predicate.cc.o" "gcc" "src/CMakeFiles/vdb.dir/exec/predicate.cc.o.d"
+  "/root/repo/src/index/bsp_forest.cc" "src/CMakeFiles/vdb.dir/index/bsp_forest.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/bsp_forest.cc.o.d"
+  "/root/repo/src/index/diskann.cc" "src/CMakeFiles/vdb.dir/index/diskann.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/diskann.cc.o.d"
+  "/root/repo/src/index/fanng.cc" "src/CMakeFiles/vdb.dir/index/fanng.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/fanng.cc.o.d"
+  "/root/repo/src/index/flat.cc" "src/CMakeFiles/vdb.dir/index/flat.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/flat.cc.o.d"
+  "/root/repo/src/index/hnsw.cc" "src/CMakeFiles/vdb.dir/index/hnsw.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/hnsw.cc.o.d"
+  "/root/repo/src/index/index.cc" "src/CMakeFiles/vdb.dir/index/index.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/index.cc.o.d"
+  "/root/repo/src/index/ivf.cc" "src/CMakeFiles/vdb.dir/index/ivf.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/ivf.cc.o.d"
+  "/root/repo/src/index/ivf_pq.cc" "src/CMakeFiles/vdb.dir/index/ivf_pq.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/ivf_pq.cc.o.d"
+  "/root/repo/src/index/ivf_sq.cc" "src/CMakeFiles/vdb.dir/index/ivf_sq.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/ivf_sq.cc.o.d"
+  "/root/repo/src/index/kd_tree.cc" "src/CMakeFiles/vdb.dir/index/kd_tree.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/kd_tree.cc.o.d"
+  "/root/repo/src/index/knn_graph.cc" "src/CMakeFiles/vdb.dir/index/knn_graph.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/knn_graph.cc.o.d"
+  "/root/repo/src/index/lsh.cc" "src/CMakeFiles/vdb.dir/index/lsh.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/lsh.cc.o.d"
+  "/root/repo/src/index/nsw.cc" "src/CMakeFiles/vdb.dir/index/nsw.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/nsw.cc.o.d"
+  "/root/repo/src/index/pca_tree.cc" "src/CMakeFiles/vdb.dir/index/pca_tree.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/pca_tree.cc.o.d"
+  "/root/repo/src/index/rp_forest.cc" "src/CMakeFiles/vdb.dir/index/rp_forest.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/rp_forest.cc.o.d"
+  "/root/repo/src/index/spann.cc" "src/CMakeFiles/vdb.dir/index/spann.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/spann.cc.o.d"
+  "/root/repo/src/index/spectral_hash.cc" "src/CMakeFiles/vdb.dir/index/spectral_hash.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/spectral_hash.cc.o.d"
+  "/root/repo/src/index/vamana.cc" "src/CMakeFiles/vdb.dir/index/vamana.cc.o" "gcc" "src/CMakeFiles/vdb.dir/index/vamana.cc.o.d"
+  "/root/repo/src/quant/anisotropic.cc" "src/CMakeFiles/vdb.dir/quant/anisotropic.cc.o" "gcc" "src/CMakeFiles/vdb.dir/quant/anisotropic.cc.o.d"
+  "/root/repo/src/quant/opq.cc" "src/CMakeFiles/vdb.dir/quant/opq.cc.o" "gcc" "src/CMakeFiles/vdb.dir/quant/opq.cc.o.d"
+  "/root/repo/src/quant/pq.cc" "src/CMakeFiles/vdb.dir/quant/pq.cc.o" "gcc" "src/CMakeFiles/vdb.dir/quant/pq.cc.o.d"
+  "/root/repo/src/quant/quantizer.cc" "src/CMakeFiles/vdb.dir/quant/quantizer.cc.o" "gcc" "src/CMakeFiles/vdb.dir/quant/quantizer.cc.o.d"
+  "/root/repo/src/quant/sq.cc" "src/CMakeFiles/vdb.dir/quant/sq.cc.o" "gcc" "src/CMakeFiles/vdb.dir/quant/sq.cc.o.d"
+  "/root/repo/src/storage/attribute_store.cc" "src/CMakeFiles/vdb.dir/storage/attribute_store.cc.o" "gcc" "src/CMakeFiles/vdb.dir/storage/attribute_store.cc.o.d"
+  "/root/repo/src/storage/lsm_store.cc" "src/CMakeFiles/vdb.dir/storage/lsm_store.cc.o" "gcc" "src/CMakeFiles/vdb.dir/storage/lsm_store.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/vdb.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/vdb.dir/storage/paged_file.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/vdb.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/vdb.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

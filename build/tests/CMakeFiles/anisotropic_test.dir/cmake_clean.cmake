@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anisotropic_test.dir/anisotropic_test.cc.o"
+  "CMakeFiles/anisotropic_test.dir/anisotropic_test.cc.o.d"
+  "anisotropic_test"
+  "anisotropic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anisotropic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
