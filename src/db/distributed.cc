@@ -1,12 +1,42 @@
 #include "db/distributed.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <thread>
 
+#include "core/failpoint.h"
 #include "core/kmeans.h"
 #include "core/topk.h"
 
 namespace vdb {
+
+namespace {
+
+/// Shared scatter state. Heap-allocated and reference-counted because a
+/// worker abandoned at the deadline keeps writing into its own slot after
+/// Knn has returned; the context (query copy included) must outlive it.
+struct GatherContext {
+  std::vector<float> query;
+  std::size_t k = 0;
+  SearchParams params;
+  bool has_params = false;
+
+  struct Slot {
+    std::vector<Neighbor> part;
+    SearchStats stats;
+    Status status;
+    std::uint64_t retries = 0;
+    std::atomic<bool> done{false};
+  };
+  std::vector<Slot> slots;  ///< sized once at creation; never reallocated
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<ShardedCollection>> ShardedCollection::Create(
     ShardedOptions opts) {
@@ -110,6 +140,39 @@ Status ShardedCollection::BuildIndexes() {
   return Status::Ok();
 }
 
+void ShardedCollection::RecordProbeOutcome(std::size_t s, bool failed) const {
+  if (opts_.breaker_threshold == 0) return;
+  const Shard& shard = shards_[s];
+  if (!failed) {
+    shard.consecutive_failures.store(0, std::memory_order_relaxed);
+    return;
+  }
+  std::uint32_t consec =
+      shard.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (consec >= opts_.breaker_threshold) {
+    shard.cooldown_remaining.store(opts_.breaker_cooldown_probes,
+                                   std::memory_order_relaxed);
+    shard.consecutive_failures.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t ShardedCollection::BreakerCooldownRemaining(
+    std::size_t s) const {
+  return shards_[s].cooldown_remaining.load(std::memory_order_relaxed);
+}
+
+void ShardedCollection::ResetBreaker(std::size_t s) {
+  shards_[s].cooldown_remaining.store(0, std::memory_order_relaxed);
+  shards_[s].consecutive_failures.store(0, std::memory_order_relaxed);
+}
+
+ShardedCollection::~ShardedCollection() {
+  std::lock_guard<std::mutex> lock(stragglers_mu_);
+  for (auto& t : stragglers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
 Status ShardedCollection::Knn(VectorView query, std::size_t k,
                               std::vector<Neighbor>* out, SearchStats* stats,
                               bool parallel, bool read_replicas,
@@ -117,41 +180,167 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
                               const SearchParams* params) const {
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
   auto targets = RouteQuery(query.data(), shards_to_probe);
+  const std::size_t n = targets.size();
 
-  std::vector<std::vector<Neighbor>> parts(targets.size());
-  std::vector<SearchStats> part_stats(targets.size());
-  std::vector<Status> statuses(targets.size());
+  auto ctx = std::make_shared<GatherContext>();
+  ctx->query.assign(query.begin(), query.end());
+  ctx->k = k;
+  if (params != nullptr) {
+    ctx->params = *params;
+    ctx->has_params = true;
+  }
+  ctx->slots = std::vector<GatherContext::Slot>(n);
 
-  auto run = [&](std::size_t t) {
-    const Shard& shard = shards_[targets[t]];
-    const Collection* reader = shard.primary.get();
-    if (read_replicas && !shard.replicas.empty()) {
-      reader = shard.replicas[replica_rr_.fetch_add(1) %
-                              shard.replicas.size()]
-                   .get();
+  // One shard probe: replica read (if requested) with fallback to the
+  // primary, failpoint fault sites included. Runs on a worker thread in
+  // parallel mode, inline otherwise. Touches only ctx and the shard.
+  auto probe = [ctx](const Shard* shard, std::size_t t, std::size_t s,
+                     const Collection* replica_reader) {
+    GatherContext::Slot& slot = ctx->slots[t];
+    if (std::uint32_t ms = FailpointDelayMs("shard.knn.delay", s)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     }
-    if (reader->Size() == 0) {
-      statuses[t] = Status::Ok();  // empty shard contributes nothing
-      return;
+    const SearchParams* p = ctx->has_params ? &ctx->params : nullptr;
+    VectorView q{ctx->query.data(), ctx->query.size()};
+    auto attempt = [&](const Collection* reader, bool is_replica) -> Status {
+      if (is_replica && FailpointFires("shard.replica.fail", s)) {
+        return Status::IoError("injected failure: shard.replica.fail");
+      }
+      if (FailpointFires("shard.knn.fail", s)) {
+        return Status::IoError("injected failure: shard.knn.fail");
+      }
+      slot.part.clear();
+      slot.stats = SearchStats{};
+      if (reader->Size() == 0) return Status::Ok();  // contributes nothing
+      return reader->Knn(q, ctx->k, &slot.part, &slot.stats, p);
+    };
+    const Collection* reader =
+        replica_reader != nullptr ? replica_reader : shard->primary.get();
+    Status status = attempt(reader, replica_reader != nullptr);
+    if (!status.ok() && replica_reader != nullptr) {
+      ++slot.retries;  // replica read failed: retry against the primary
+      status = attempt(shard->primary.get(), /*is_replica=*/false);
     }
-    statuses[t] = reader->Knn(query, k, &parts[t], &part_stats[t], params);
+    slot.status = status;
+    slot.done.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      ++ctx->completed;
+    }
+    ctx->cv.notify_one();
   };
 
-  if (parallel && targets.size() > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(targets.size());
-    for (std::size_t t = 0; t < targets.size(); ++t) {
-      workers.emplace_back(run, t);
+  // Dispatch: skip breaker-tripped shards, pick the replica up front (the
+  // round-robin cursor is shared state the worker must not touch).
+  std::vector<bool> skipped(n, false);
+  std::vector<std::pair<std::thread, std::size_t>> workers;
+  std::size_t dispatched = 0;
+  const bool threaded = parallel && n > 1;
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t s = targets[t];
+    const Shard& shard = shards_[s];
+    if (opts_.breaker_threshold > 0) {
+      std::uint32_t cd = shard.cooldown_remaining.load(std::memory_order_relaxed);
+      bool skip = false;
+      while (cd > 0) {
+        if (shard.cooldown_remaining.compare_exchange_weak(
+                cd, cd - 1, std::memory_order_relaxed)) {
+          skip = true;  // tripped open: this probe is the cooldown tick
+          break;
+        }
+      }
+      if (skip) {
+        skipped[t] = true;
+        continue;
+      }
     }
-    for (auto& w : workers) w.join();
-  } else {
-    for (std::size_t t = 0; t < targets.size(); ++t) run(t);
+    const Collection* replica_reader = nullptr;
+    if (read_replicas && !shard.replicas.empty()) {
+      replica_reader = shard.replicas[replica_rr_.fetch_add(1) %
+                                      shard.replicas.size()]
+                           .get();
+    }
+    ++dispatched;
+    if (threaded) {
+      workers.emplace_back(std::thread(probe, &shard, t, s, replica_reader),
+                           t);
+    } else {
+      probe(&shard, t, s, replica_reader);
+    }
   }
 
-  for (std::size_t t = 0; t < targets.size(); ++t) {
-    VDB_RETURN_IF_ERROR(statuses[t]);
-    if (stats != nullptr) *stats += part_stats[t];
+  // Gather with an optional deadline; workers still running at the
+  // deadline are abandoned to the straggler list and their shards count
+  // as failed.
+  if (threaded && dispatched > 0) {
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    auto all_done = [&] { return ctx->completed == dispatched; };
+    if (opts_.shard_deadline_ms > 0) {
+      ctx->cv.wait_until(lock,
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(opts_.shard_deadline_ms),
+                         all_done);
+    } else {
+      ctx->cv.wait(lock, all_done);
+    }
   }
+  for (auto& [worker, t] : workers) {
+    if (ctx->slots[t].done.load(std::memory_order_acquire)) {
+      worker.join();
+    } else {
+      std::lock_guard<std::mutex> lock(stragglers_mu_);
+      stragglers_.push_back(std::move(worker));
+    }
+  }
+
+  // Merge healthy shards; account for the rest.
+  std::vector<std::vector<Neighbor>> parts;
+  parts.reserve(n);
+  SearchStats agg;
+  std::size_t failed = 0;
+  Status first_failure = Status::Ok();
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t s = targets[t];
+    if (skipped[t]) {
+      ++failed;  // tripped breaker: shard sat this query out
+      continue;
+    }
+    GatherContext::Slot& slot = ctx->slots[t];
+    if (!slot.done.load(std::memory_order_acquire)) {
+      ++failed;  // deadline expired with the shard still searching
+      if (first_failure.ok()) {
+        first_failure = Status::IoError("shard deadline exceeded");
+      }
+      RecordProbeOutcome(s, /*failed=*/true);
+      continue;
+    }
+    agg.shard_retries += slot.retries;
+    if (!slot.status.ok()) {
+      ++failed;
+      if (first_failure.ok()) first_failure = slot.status;
+      RecordProbeOutcome(s, /*failed=*/true);
+      continue;
+    }
+    RecordProbeOutcome(s, /*failed=*/false);
+    agg += slot.stats;
+    parts.push_back(std::move(slot.part));
+  }
+
+  if (failed > 0) {
+    if (failed == n) {
+      return first_failure.ok()
+                 ? Status::IoError("all shards unavailable (breaker open)")
+                 : first_failure;
+    }
+    if (!opts_.allow_partial) {
+      return first_failure.ok()
+                 ? Status::IoError("shard unavailable (breaker open)")
+                 : first_failure;
+    }
+  }
+  agg.shards_failed = failed;
+  agg.partial = failed > 0;
+  if (stats != nullptr) *stats += agg;
   *out = MergeTopK(parts, k);
   return Status::Ok();
 }

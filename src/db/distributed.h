@@ -4,6 +4,8 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "db/collection.h"
@@ -29,15 +31,40 @@ struct ShardedOptions {
   /// `wal_path` empty here).
   CollectionOptions collection;
   std::uint64_t seed = 42;
+
+  // ------------------------------------------------- robustness knobs
+  /// Scatter-gather deadline per Knn call (ms); shards that have not
+  /// answered by then count as failed and the query degrades to the
+  /// shards that did. 0 waits forever. Parallel mode only.
+  std::uint32_t shard_deadline_ms = 0;
+  /// Degrade to partial results when some (not all) contacted shards
+  /// fail. When false, any shard failure fails the whole query.
+  bool allow_partial = true;
+  /// Circuit breaker: consecutive failures that trip a shard open
+  /// (0 disables the breaker).
+  std::uint32_t breaker_threshold = 3;
+  /// Probes a tripped shard sits out before it is retried (half-open).
+  std::uint32_t breaker_cooldown_probes = 8;
 };
 
 /// Distributed search simulation: a sharded, replicated collection with
 /// scatter-gather k-NN (paper §2.3(2)). Shards are searched in parallel
 /// with std::thread; replica reads observe asynchronous-update staleness.
+///
+/// The read path is hardened against the failure modes of §2.3: a failed
+/// replica read retries on the primary, shards past their deadline or
+/// retry budget are dropped and the query *degrades* to the healthy
+/// shards (`SearchStats::partial`, `shards_failed`), and a per-shard
+/// circuit breaker sidelines repeatedly failing shards for a cooldown.
+/// Fault sites are failpoint-instrumented: `shard.knn.fail`,
+/// `shard.knn.delay`, `shard.replica.fail` (each also addressable
+/// per-shard as `<name>.<shard_index>`).
 class ShardedCollection {
  public:
   static Result<std::unique_ptr<ShardedCollection>> Create(
       ShardedOptions opts);
+
+  ~ShardedCollection();
 
   /// Index-guided policy: learns the k-means shard router from a sample.
   /// Must run before the first insert under kIndexGuided.
@@ -65,6 +92,12 @@ class ShardedCollection {
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t Size() const;
 
+  /// Circuit-breaker introspection: probes shard `s` will sit out before
+  /// being retried (0 = closed/healthy).
+  std::uint32_t BreakerCooldownRemaining(std::size_t s) const;
+  /// Resets a shard's breaker to closed (operator override).
+  void ResetBreaker(std::size_t s);
+
  private:
   explicit ShardedCollection(ShardedOptions opts) : opts_(std::move(opts)) {}
 
@@ -82,7 +115,24 @@ class ShardedCollection {
     std::unique_ptr<Collection> primary;
     std::vector<std::unique_ptr<Collection>> replicas;
     std::deque<PendingOp> pending;  ///< queued replica updates
+
+    /// Circuit-breaker state; atomics because the gatherer updates them
+    /// while other queries read them.
+    mutable std::atomic<std::uint32_t> consecutive_failures{0};
+    mutable std::atomic<std::uint32_t> cooldown_remaining{0};
+
+    Shard() = default;
+    /// Moves happen only during Create(), before any concurrent access.
+    Shard(Shard&& o) noexcept
+        : primary(std::move(o.primary)),
+          replicas(std::move(o.replicas)),
+          pending(std::move(o.pending)),
+          consecutive_failures(o.consecutive_failures.load()),
+          cooldown_remaining(o.cooldown_remaining.load()) {}
   };
+
+  /// Records one probe outcome in shard `s`'s breaker.
+  void RecordProbeOutcome(std::size_t s, bool failed) const;
 
   ShardedOptions opts_;
   std::vector<Shard> shards_;
@@ -90,6 +140,12 @@ class ShardedCollection {
   /// Round-robin replica cursor; atomic because parallel scatter threads
   /// advance it concurrently.
   mutable std::atomic<std::size_t> replica_rr_{0};
+
+  /// Worker threads abandoned at a deadline. They only touch their own
+  /// (heap-shared) result slot and the shard collections, so they are
+  /// left to finish in the background and joined in the destructor.
+  mutable std::mutex stragglers_mu_;
+  mutable std::vector<std::thread> stragglers_;
 };
 
 }  // namespace vdb

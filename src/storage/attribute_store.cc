@@ -6,6 +6,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "core/failpoint.h"
 #include "storage/serializer.h"
 
 namespace vdb {
@@ -176,6 +177,9 @@ void AttributeStore::Save(BinaryWriter* writer) const {
 }
 
 Status AttributeStore::Load(BinaryReader* reader) {
+  if (FailpointFires("attribute_store.load.corrupt")) {
+    return Status::Corruption("injected failure: attribute_store.load.corrupt");
+  }
   columns_.clear();
   VDB_ASSIGN_OR_RETURN(num_rows_, reader->U64());
   VDB_ASSIGN_OR_RETURN(std::uint64_t ncols, reader->U64());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/failpoint.h"
 #include "core/topk.h"
 
 namespace vdb {
@@ -78,6 +79,11 @@ Status LsmVectorStore::BuildSegment(FloatMatrix&& data,
 
 Status LsmVectorStore::Flush() {
   if (memtable_.live_count() == 0) return Status::Ok();
+  if (FailpointFires("lsm.flush.fail")) {
+    // Fails *before* touching state: the memtable stays searchable and a
+    // retry can succeed — flush must be all-or-nothing.
+    return Status::IoError("injected failure: lsm.flush.fail");
+  }
   FloatMatrix data;
   std::vector<VectorId> ids;
   memtable_.Snapshot(&data, &ids);
@@ -92,6 +98,9 @@ Status LsmVectorStore::Flush() {
 
 Status LsmVectorStore::Compact() {
   if (segments_.empty()) return Status::Ok();
+  if (FailpointFires("lsm.compact.fail")) {
+    return Status::IoError("injected failure: lsm.compact.fail");
+  }
   std::size_t total = 0;
   for (const auto& seg : segments_) total += seg.ids.size();
   FloatMatrix merged(0, dim_);

@@ -6,7 +6,46 @@
 #include <cerrno>
 #include <cstring>
 
+#include "core/failpoint.h"
+
 namespace vdb {
+
+namespace {
+
+/// pread(2) until `len` bytes arrive, retrying EINTR and short reads.
+/// Returns false only on a real error or premature EOF.
+bool PreadFully(int fd, std::uint8_t* buf, std::size_t len, off_t offset) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t got = ::pread(fd, buf + done, len - done,
+                          offset + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF inside a page
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool PwriteFully(int fd, const std::uint8_t* buf, std::size_t len,
+                 off_t offset) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t put = ::pwrite(fd, buf + done, len - done,
+                           offset + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (put == 0) return false;
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<PagedFile>> PagedFile::OpenImpl(
     const std::string& path, const PagedFileOptions& opts, bool truncate) {
@@ -85,25 +124,48 @@ Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
     }
     --fault_after_;
   }
-  ssize_t got = ::pread(fd_, buf, opts_.page_size,
-                        static_cast<off_t>(page_id * opts_.page_size));
-  if (got != static_cast<ssize_t>(opts_.page_size)) {
-    return Status::IoError("pread failed or short");
+  if (FailpointFires("paged_file.read.fail")) {
+    return Status::IoError("injected failure: paged_file.read.fail");
+  }
+  if (!PreadFully(fd_, buf, opts_.page_size,
+                  static_cast<off_t>(page_id * opts_.page_size))) {
+    return Status::IoError("pread page " + std::to_string(page_id) + ": " +
+                           std::strerror(errno));
   }
   ++reads_;
+  if (FailpointFires("paged_file.read.corrupt")) {
+    // Media corruption: one bit flips on the way in. Intentionally not
+    // cached — upper layers (CRC-framed formats) must detect this read.
+    buf[0] ^= 0x01;
+    return Status::Ok();
+  }
   CacheInsert(page_id, buf);
   return Status::Ok();
 }
 
 Status PagedFile::WritePage(std::uint64_t page_id, const std::uint8_t* buf) {
-  ssize_t put = ::pwrite(fd_, buf, opts_.page_size,
-                         static_cast<off_t>(page_id * opts_.page_size));
-  if (put != static_cast<ssize_t>(opts_.page_size)) {
-    return Status::IoError("pwrite failed or short");
+  if (FailpointFires("paged_file.write.fail")) {
+    return Status::IoError("injected failure: paged_file.write.fail");
+  }
+  if (!PwriteFully(fd_, buf, opts_.page_size,
+                   static_cast<off_t>(page_id * opts_.page_size))) {
+    return Status::IoError("pwrite page " + std::to_string(page_id) + ": " +
+                           std::strerror(errno));
   }
   ++writes_;
   if (page_id >= num_pages_) num_pages_ = page_id + 1;
   CacheInsert(page_id, buf);
+  return Status::Ok();
+}
+
+Status PagedFile::Sync() {
+  if (FailpointFires("paged_file.sync.fail")) {
+    return Status::IoError("injected failure: paged_file.sync.fail");
+  }
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IoError("fsync: " + std::string(std::strerror(errno)));
+  }
   return Status::Ok();
 }
 

@@ -47,6 +47,9 @@ class PagedFile {
   /// Appends a fresh page, returning its id.
   Result<std::uint64_t> AppendPage(const std::uint8_t* buf);
 
+  /// fsync(2) the file (EINTR-safe). Durability point for written pages.
+  Status Sync();
+
   std::size_t page_size() const { return opts_.page_size; }
   std::uint64_t num_pages() const { return num_pages_; }
 

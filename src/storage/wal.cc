@@ -1,11 +1,14 @@
 #include "storage/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <array>
 #include <cerrno>
 #include <cstring>
+
+#include "core/failpoint.h"
 
 namespace vdb {
 
@@ -13,6 +16,46 @@ namespace {
 
 constexpr std::uint8_t kInsertRecord = 1;
 constexpr std::uint8_t kDeleteRecord = 2;
+
+std::string ErrnoText(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+/// write(2) until every byte lands, retrying EINTR and short writes.
+/// A short write here is *not* a failure — the kernel may accept fewer
+/// bytes than asked (signal, memory pressure) without any error.
+Status WriteFully(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t put = ::write(fd, data + done, len - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoText("wal write"));
+    }
+    if (put == 0) return Status::IoError("wal write returned 0 bytes");
+    done += static_cast<std::size_t>(put);
+  }
+  return Status::Ok();
+}
+
+/// fsync the directory containing `path` so a freshly created file's
+/// directory entry itself is durable (the classic create-then-crash
+/// durability bug: the file's data survives but its name does not).
+Status SyncParentDir(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  Status status = Status::Ok();
+  if (::fsync(fd) != 0) {
+    status = Status::IoError("fsync dir " + dir + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  return status;
+}
 
 void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
   out->push_back(v & 0xff);
@@ -84,9 +127,24 @@ std::uint32_t Wal::Crc32(const std::uint8_t* data, std::size_t len) {
 }
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (FailpointFires("wal.open.fail")) {
+    return Status::IoError("injected failure: wal.open.fail");
+  }
+  struct stat st;
+  bool existed = ::stat(path.c_str(), &st) == 0;
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
   if (fd < 0) {
     return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  if (!existed) {
+    // Make the new log file's directory entry durable before anyone
+    // trusts appends to it.
+    Status dir_sync = SyncParentDir(path);
+    if (!dir_sync.ok()) {
+      ::close(fd);
+      return dir_sync;
+    }
   }
   return Result<std::unique_ptr<Wal>>(std::unique_ptr<Wal>(new Wal(fd)));
 }
@@ -107,11 +165,17 @@ Status Wal::AppendRecord(std::uint8_t type,
   crc_input.push_back(type);
   PutBytes(&crc_input, body.data(), body.size());
   PutU32(&frame, Crc32(crc_input.data(), crc_input.size()));
-  ssize_t put = ::write(fd_, frame.data(), frame.size());
-  if (put != static_cast<ssize_t>(frame.size())) {
-    return Status::IoError("wal write failed");
+  if (FailpointFires("wal.append.fail")) {
+    return Status::IoError("injected failure: wal.append.fail");
   }
-  return Status::Ok();
+  if (FailpointFires("wal.append.short_write")) {
+    // Simulate a crash mid-append: a torn prefix of the frame reaches the
+    // file, then the "process dies" (the caller sees an I/O error). Replay
+    // must stop cleanly at the preceding record.
+    (void)WriteFully(fd_, frame.data(), frame.size() / 2);
+    return Status::IoError("injected failure: wal.append.short_write");
+  }
+  return WriteFully(fd_, frame.data(), frame.size());
 }
 
 Status Wal::AppendInsert(VectorId id, std::span<const float> vec,
@@ -155,7 +219,14 @@ Status Wal::AppendDelete(VectorId id) {
 }
 
 Status Wal::Sync() {
-  return ::fsync(fd_) == 0 ? Status::Ok() : Status::IoError("fsync failed");
+  if (FailpointFires("wal.sync.fail")) {
+    return Status::IoError("injected failure: wal.sync.fail");
+  }
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IoError(ErrnoText("wal fsync"));
+  }
+  return Status::Ok();
 }
 
 Status Wal::Replay(const std::string& path, Visitor* visitor,
