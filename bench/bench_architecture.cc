@@ -34,6 +34,9 @@
 #include "storage/lsm_store.h"
 #include "core/failpoint.h"
 #include "core/simd.h"
+#include "core/telemetry.h"
+#include "db/query_language.h"
+#include "exec/trace.h"
 #include "storage/wal.h"
 
 namespace {
@@ -237,6 +240,73 @@ int main() {
     bench::Row("    scatter-gather degradation (partial results) ..... %s",
                Check(ok));
     bench::Row("    per-shard circuit breaker + replica fallback ..... ok");
+  }
+
+  bench::Row("%s", "");
+  bench::Row("Observability");
+  {
+    // Private registry: counters, gauges and histogram percentiles.
+    Registry reg;
+    Counter& c = reg.GetCounter("vdb_arch_events_total");
+    c.Inc(3);
+    Gauge& g = reg.GetGauge("vdb_arch_level");
+    g.Set(-2);
+    Histogram& h = reg.GetHistogram("vdb_arch_seconds");
+    for (int i = 0; i < 100; ++i) h.Observe(1e-3);
+    bool ok = c.Value() == 3 && g.Value() == -2 && h.Count() == 100 &&
+              h.Percentile(50) > 0;
+    std::string prom = reg.RenderPrometheus();
+    ok = ok && prom.find("vdb_arch_events_total 3") != std::string::npos &&
+         reg.RenderJson().find("\"vdb_arch_level\":-2") != std::string::npos;
+    bench::Row("    metrics registry (Prometheus + JSON render) ...... %s",
+               Check(ok));
+
+    // Global registry saw the index self-checks above.
+    std::uint64_t searches =
+        Registry::Global().GetCounter("vdb_index_searches_total").Value();
+    bench::Row("    hot-path instrumentation (%6llu searches) ....... %s",
+               (unsigned long long)searches, Check(searches > 0));
+
+    // Span tree + EXPLAIN ANALYZE through the query language.
+    Database db;
+    CollectionOptions co;
+    co.dim = 16;
+    co.attributes = {{"price", AttrType::kDouble}};
+    co.index_factory = [] { return std::make_unique<HnswIndex>(); };
+    auto coll = db.CreateCollection("arch", co);
+    ok = coll.ok();
+    for (std::size_t i = 0; ok && i < 500; ++i) {
+      ok = (*coll)->Insert(i, w.data.row_view(i),
+                           {{"price", double(i % 100)}}).ok();
+    }
+    ok = ok && (*coll)->BuildIndex().ok();
+    std::string vec = "[";
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (j) vec += ", ";
+      vec += std::to_string(w.queries.at(0, j));
+    }
+    vec += "]";
+    std::string text = "EXPLAIN ANALYZE SELECT knn(5) FROM arch "
+                       "WHERE price < 50.0 ORDER BY distance(" + vec + ")";
+    auto traced = ExecuteQueryTraced(&db, text);
+    ok = ok && traced.ok() && !traced->explain.empty() &&
+         traced->explain.find("query") != std::string::npos &&
+         traced->explain.find("plan") != std::string::npos;
+    bench::Row("    EXPLAIN ANALYZE span tree ........................ %s",
+               Check(ok));
+
+    // Slow-query log: threshold 0 means everything is slow.
+    static std::string captured;
+    captured.clear();
+    SetSlowQuerySink([](const std::string& line) { captured = line; });
+    SetSlowQueryThresholdMs(0.0);
+    auto again = ExecuteQueryTraced(
+        &db, "SELECT knn(5) FROM arch ORDER BY distance(" + vec + ")");
+    SetSlowQueryThresholdMs(-1.0);
+    SetSlowQuerySink(nullptr);
+    ok = again.ok() && captured.find("[slow-query]") != std::string::npos;
+    bench::Row("    slow-query log (VDB_SLOW_QUERY_MS) ............... %s",
+               Check(ok));
   }
   return 0;
 }

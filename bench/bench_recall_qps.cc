@@ -43,36 +43,60 @@ SearchParams P(int ef, int nprobe, int leaves, int probes) {
   return p;
 }
 
-void RunSweep(const bench::Workload& w, const Sweep& sweep) {
+void RunSweep(const bench::Workload& w, const Sweep& sweep,
+              bench::JsonReport* report) {
   auto index = sweep.make();
   double build_s = bench::Seconds(
       [&] { (void)index->Build(w.data, {}); });
   for (const auto& [label, params] : sweep.points) {
     std::vector<std::vector<Neighbor>> results(w.queries.rows());
+    std::vector<double> lat_us(w.queries.rows());
     SearchStats stats;
     double secs = bench::Seconds([&] {
       for (std::size_t q = 0; q < w.queries.rows(); ++q) {
-        (void)index->Search(w.queries.row(q), params, &results[q], &stats);
+        lat_us[q] = 1e6 * bench::Seconds([&] {
+          (void)index->Search(w.queries.row(q), params, &results[q], &stats);
+        });
       }
     });
     double recall = MeanRecall(results, w.truth, 10);
     double qps = static_cast<double>(w.queries.rows()) / secs;
-    bench::Row("%-10s %-12s recall@10=%.3f  qps=%8.0f  ndis/q=%7.0f  "
-               "build=%.2fs",
-               sweep.name.c_str(), label.c_str(), recall, qps,
+    auto lat = bench::Summarize(lat_us);
+    bench::Row("%-10s %-12s recall@10=%.3f  qps=%8.0f  "
+               "us/q mean=%7.1f p50=%7.1f p95=%7.1f p99=%7.1f  "
+               "ndis/q=%7.0f  build=%.2fs",
+               sweep.name.c_str(), label.c_str(), recall, qps, lat.mean,
+               lat.p50, lat.p95, lat.p99,
                double(stats.distance_comps + stats.code_comps) /
                    double(w.queries.rows()),
                build_s);
+    if (report != nullptr) {
+      report->BeginRow();
+      report->Field("index", sweep.name);
+      report->Field("knob", label);
+      report->Field("recall_at_10", recall);
+      report->Field("qps", qps);
+      report->Field("lat_us_mean", lat.mean);
+      report->Field("lat_us_p50", lat.p50);
+      report->Field("lat_us_p95", lat.p95);
+      report->Field("lat_us_p99", lat.p99);
+      report->Field("ndis_per_query",
+                    double(stats.distance_comps + stats.code_comps) /
+                        double(w.queries.rows()));
+      report->Field("build_seconds", build_s);
+    }
   }
 }
 
 }  // namespace
 }  // namespace vdb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdb;
   bench::Header("E1", "recall vs QPS across index families "
                       "(n=20000 d=64 k=10, Gaussian clusters)");
+  std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  bench::JsonReport report("E1-recall-qps");
   auto w = bench::MakeWorkload(20000, 64, 100, 10);
 
   std::vector<Sweep> sweeps;
@@ -186,6 +210,9 @@ int main() {
          {{"bits=48", P(-1, -1, -1, -1)}}});
   }
 
-  for (const auto& sweep : sweeps) RunSweep(w, sweep);
+  for (const auto& sweep : sweeps) {
+    RunSweep(w, sweep, json_path.empty() ? nullptr : &report);
+  }
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 1;
   return 0;
 }

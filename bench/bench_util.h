@@ -6,10 +6,14 @@
 // tables; EXPERIMENTS.md records the measured series next to the paper's
 // qualitative claims.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/eval.h"
@@ -66,6 +70,111 @@ inline Workload MakeWorkload(std::size_t n, std::size_t dim,
   w.scorer = Scorer::Create(MetricSpec::L2(), dim).value();
   w.truth = GroundTruth(w.data, w.queries, w.scorer, k);
   return w;
+}
+
+// --------------------------------------------------------- tail latency
+//
+// The survey's operative production metric is tail latency, not the mean:
+// latency-reporting benches print mean + p50/p95/p99 columns.
+
+/// p in [0, 100] over `samples` (copied and sorted); linear interpolation
+/// between order statistics. Returns 0 for an empty sample set.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::min(std::max(p, 0.0), 100.0);
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+struct LatencySummary {
+  double mean = 0, p50 = 0, p95 = 0, p99 = 0;
+};
+
+inline LatencySummary Summarize(const std::vector<double>& samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  for (double v : samples) s.mean += v;
+  s.mean /= static_cast<double>(samples.size());
+  s.p50 = Percentile(samples, 50);
+  s.p95 = Percentile(samples, 95);
+  s.p99 = Percentile(samples, 99);
+  return s;
+}
+
+// ------------------------------------------------- machine-readable output
+//
+// Every bench binary can emit its result table as JSON (`--json PATH`)
+// so BENCH_*.json perf trajectories accumulate across revisions.
+
+/// Minimal row-oriented JSON writer:
+/// {"bench":"E1","rows":[{"k":v,...},...]}. Rows are built field by
+/// field; numeric and string values only, which covers bench tables.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g",
+                  std::isfinite(value) ? value : 0.0);
+    rows_.back().emplace_back(key, buf);
+  }
+  void Field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+
+  /// Serializes to `path`; returns false (with a stderr note) on failure.
+  bool WriteTo(const std::string& path) const {
+    std::string out = "{\"bench\":\"" + Escape(name_) + "\",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r) out += ",";
+      out += "{";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f) out += ",";
+        out += "\"" + Escape(rows_[r][f].first) + "\":" + rows_[r][f].second;
+      }
+      out += "}";
+    }
+    out += "]}\n";
+    std::FILE* fp = std::fopen(path.c_str(), "w");
+    if (fp == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(out.data(), 1, out.size(), fp);
+    std::fclose(fp);
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '"' || c == '\\') e.push_back('\\');
+      e.push_back(c);
+    }
+    return e;
+  }
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
+
+/// Extracts PATH from a `--json PATH` (or `--json=PATH`) argument; empty
+/// string when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
 }
 
 }  // namespace vdb::bench

@@ -4,6 +4,10 @@
 //
 //   SELECT knn(k) FROM products [WHERE <pred>] ORDER BY distance([...])
 //
+// Prefix any query with EXPLAIN ANALYZE to print the chosen plan and the
+// measured span tree. The line `.metrics` dumps the process metrics
+// registry in Prometheus text format.
+//
 // With no stdin input (e.g. under ctest) it runs a canned demo script.
 //
 //   echo "SELECT knn(3) FROM products WHERE price < 50.0 ORDER BY
@@ -15,6 +19,7 @@
 #include <string>
 
 #include "core/synthetic.h"
+#include "core/telemetry.h"
 #include "db/database.h"
 #include "db/query_language.h"
 #include "index/hnsw.h"
@@ -64,25 +69,29 @@ int main() {
   std::printf("vdbsh — %zu products loaded. One query per line; Ctrl-D "
               "exits.\n",
               products.Size());
-  std::printf("dialect: SELECT knn(k) FROM products [WHERE <pred>] "
-              "ORDER BY distance([8 floats])\n\n");
+  std::printf("dialect: [EXPLAIN ANALYZE] SELECT knn(k) FROM products "
+              "[WHERE <pred>] ORDER BY distance([8 floats])\n");
+  std::printf("         .metrics dumps the Prometheus registry\n\n");
 
   auto run = [&](const std::string& line) {
-    ExecStats stats;
-    auto results = ExecuteQuery(&db, line, &stats);
-    if (!results.ok()) {
-      std::printf("error: %s\n", results.status().ToString().c_str());
+    if (line == ".metrics") {
+      std::fputs(Registry::Global().RenderPrometheus().c_str(), stdout);
       return;
     }
-    auto plan = (*db.GetCollection("products"))->ExplainHybrid(
-        Predicate::True());
-    (void)plan;
-    std::printf("%zu rows", results->size());
-    if (stats.est_selectivity >= 0) {
-      std::printf("  (est. selectivity %.3f)", stats.est_selectivity);
+    auto result = ExecuteQueryTraced(&db, line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    if (!result->explain.empty()) {
+      std::fputs(result->explain.c_str(), stdout);
+    }
+    std::printf("%zu rows", result->rows.size());
+    if (result->stats.est_selectivity >= 0) {
+      std::printf("  (est. selectivity %.3f)", result->stats.est_selectivity);
     }
     std::printf("\n");
-    for (const auto& hit : *results) {
+    for (const auto& hit : result->rows) {
       auto brand = products.attributes().Get(hit.id, "brand");
       auto price = products.attributes().Get(hit.id, "price");
       std::printf("  id=%-5llu dist=%.4f brand=%-6s price=%.0f\n",
@@ -108,6 +117,8 @@ int main() {
         "SELECT knn(3) FROM products WHERE price < 50.0 AND brand = 'acme' "
         "ORDER BY distance(" + vec + ")",
         "SELECT knn(3) FROM products WHERE category IN (1, 2) "
+        "ORDER BY distance(" + vec + ")",
+        "EXPLAIN ANALYZE SELECT knn(3) FROM products WHERE price < 50.0 "
         "ORDER BY distance(" + vec + ")",
         "SELECT knn(3) FROM missing ORDER BY distance(" + vec + ")",
     };

@@ -5,6 +5,8 @@
 #include <random>
 #include <unordered_map>
 
+#include "core/telemetry.h"
+
 namespace vdb {
 
 namespace {
@@ -120,6 +122,10 @@ void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
   e.spec = spec;
   e.evaluations = 0;
   e.triggers = 0;
+  // Lock order is always Failpoints::mu -> Registry::mu (never reversed).
+  static Counter& arms =
+      Registry::Global().GetCounter("vdb_failpoint_arms_total");
+  arms.Inc();
 }
 
 Status Failpoints::Arm(const std::string& name, std::string_view spec_text) {
@@ -190,6 +196,14 @@ bool Failpoints::Fires(const char* name) {
   }
   ++e.triggers;
   ++e.lifetime_triggers;
+  // Fires are rare (fault injection only), so the per-name registry
+  // lookup here is off any hot path.
+  auto& reg = Registry::Global();
+  static Counter& fired = reg.GetCounter("vdb_failpoints_fired_total");
+  fired.Inc();
+  reg.GetCounter("vdb_failpoint_fires_total{name=\"" + std::string(name) +
+                 "\"}")
+      .Inc();
   return true;
 }
 

@@ -1,0 +1,267 @@
+#include "core/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vdb {
+
+namespace {
+
+/// Relaxed double accumulation (std::atomic<double>::fetch_add is C++20
+/// but not universally lock-free; the CAS loop is).
+void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Splits "base{labels}" into base and the raw label list ("" when none).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // keep the inner "k=\"v\",..." without braces
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+}  // namespace
+
+std::size_t TelemetryStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kTelemetryStripes;
+  return stripe;
+}
+
+// ---------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  if (bounds_.size() > kMaxBounds) bounds_.resize(kMaxBounds);
+}
+
+void Histogram::Observe(double value) {
+  // First edge >= value: inclusive upper edges (Prometheus `le`).
+  std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                                value) -
+                               bounds_.begin());
+  Stripe& s = stripes_[TelemetryStripe()];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(s.sum, value);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stripes_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      total += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& s : stripes_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& s : stripes_) {
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+double Histogram::Percentile(double p) const {
+  auto counts = BucketCounts();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    double next = cum + static_cast<double>(counts[b]);
+    if (next >= target) {
+      double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      // The +Inf bucket has no width: report its lower edge.
+      if (b >= bounds_.size()) return lo;
+      double hi = bounds_[b];
+      double frac = counts[b] == 0
+                        ? 0.0
+                        : (target - cum) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::Reset() {
+  for (auto& s : stripes_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::span<const double> Histogram::LatencyBoundsSeconds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    double edge = 1e-6;  // 1us
+    for (int i = 0; i < 27; ++i) {
+      b.push_back(edge);
+      edge *= 2.0;
+    }
+    return b;  // last edge ~= 67s
+  }();
+  return bounds;
+}
+
+// ----------------------------------------------------------------- Registry
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: process lifetime
+  return *instance;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::LatencyBoundsSeconds() : bounds);
+  }
+  return *slot;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_typed;  // base name of the last emitted # TYPE line
+  auto type_line = [&](const std::string& base, const char* kind) {
+    if (base == last_typed) return;
+    out += "# TYPE " + base + " " + kind + "\n";
+    last_typed = base;
+  };
+  for (const auto& [name, c] : counters_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    type_line(base, "counter");
+    out += name + " " + std::to_string(c->Value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    type_line(base, "gauge");
+    out += name + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    type_line(base, "histogram");
+    auto counts = h->BucketCounts();
+    const auto& bounds = h->bounds();
+    std::uint64_t cum = 0;
+    auto bucket_line = [&](const std::string& le, std::uint64_t v) {
+      out += base + "_bucket{";
+      if (!labels.empty()) out += labels + ",";
+      out += "le=\"" + le + "\"} " + std::to_string(v) + "\n";
+    };
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      cum += counts[b];
+      bucket_line(FormatDouble(bounds[b]), cum);
+    }
+    cum += counts[bounds.size()];
+    bucket_line("+Inf", cum);
+    std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    out += base + "_sum" + suffix + " " + FormatDouble(h->Sum()) + "\n";
+    out += base + "_count" + suffix + " " + std::to_string(cum) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  auto escape = [](const std::string& s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '"' || c == '\\') e.push_back('\\');
+      e.push_back(c);
+    }
+    return e;
+  };
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape(name) + "\":" + std::to_string(c->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape(name) + "\":" + std::to_string(g->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape(name) + "\":{\"count\":" + std::to_string(h->Count()) +
+           ",\"sum\":" + FormatDouble(h->Sum()) +
+           ",\"p50\":" + FormatDouble(h->Percentile(50)) +
+           ",\"p95\":" + FormatDouble(h->Percentile(95)) +
+           ",\"p99\":" + FormatDouble(h->Percentile(99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace vdb

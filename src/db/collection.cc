@@ -5,6 +5,7 @@
 
 #include "core/topk.h"
 #include "exec/batch.h"
+#include "exec/trace.h"
 #include "index/hnsw.h"
 #include "index/ivf.h"
 #include "storage/serializer.h"
@@ -363,6 +364,8 @@ Status Collection::SearchMerged(const float* query, const SearchParams& params,
   }
   // Brute-force the unindexed delta (and everything, if no index).
   {
+    TraceScope span(params.trace,
+                    index_ != nullptr ? "delta_scan" : "full_scan");
     TopK top(params.k);
     for (VectorId id : vectors_.LiveIds()) {
       if (index_ != nullptr && indexed_ids_.contains(id)) continue;
@@ -489,7 +492,9 @@ Status Collection::Hybrid(VectorView query, const Predicate& pred,
   if (forced_plan != nullptr) {
     plan = *forced_plan;
   } else if (optimizer_ != nullptr) {
+    TraceScope plan_span(p.trace, "plan");
     VDB_ASSIGN_OR_RETURN(plan, optimizer_->Choose(pred, View(), p));
+    plan_span.Note("chosen", plan.ToString());
     if (stats != nullptr) {
       auto s = pred.EstimateSelectivity(attrs_);
       if (s.ok()) stats->est_selectivity = *s;

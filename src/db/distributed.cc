@@ -7,7 +7,9 @@
 
 #include "core/failpoint.h"
 #include "core/kmeans.h"
+#include "core/telemetry.h"
 #include "core/topk.h"
+#include "exec/trace.h"
 
 namespace vdb {
 
@@ -153,6 +155,12 @@ void ShardedCollection::RecordProbeOutcome(std::size_t s, bool failed) const {
     shard.cooldown_remaining.store(opts_.breaker_cooldown_probes,
                                    std::memory_order_relaxed);
     shard.consecutive_failures.store(0, std::memory_order_relaxed);
+    auto& reg = Registry::Global();
+    static Counter& trips = reg.GetCounter("vdb_shard_breaker_trips_total");
+    trips.Inc();
+    reg.GetGauge("vdb_shard_breaker_cooldown{shard=\"" + std::to_string(s) +
+                 "\"}")
+        .Set(opts_.breaker_cooldown_probes);
   }
 }
 
@@ -179,14 +187,29 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
                               std::size_t shards_to_probe,
                               const SearchParams* params) const {
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
+  auto& reg = Registry::Global();
+  static Counter& queries = reg.GetCounter("vdb_shard_queries_total");
+  static Counter& probe_failures =
+      reg.GetCounter("vdb_shard_probe_failures_total");
+  static Counter& retry_count = reg.GetCounter("vdb_shard_retries_total");
+  static Counter& degraded = reg.GetCounter("vdb_shard_degraded_queries_total");
+  queries.Inc();
+
   auto targets = RouteQuery(query.data(), shards_to_probe);
   const std::size_t n = targets.size();
+
+  // A QueryTrace is single-threaded: record one scatter_gather span on
+  // the calling thread and strip the trace from worker-visible params.
+  QueryTrace* trace = params != nullptr ? params->trace : nullptr;
+  TraceScope gather_span(trace, "scatter_gather");
+  gather_span.Note("shards", std::to_string(n));
 
   auto ctx = std::make_shared<GatherContext>();
   ctx->query.assign(query.begin(), query.end());
   ctx->k = k;
   if (params != nullptr) {
     ctx->params = *params;
+    ctx->params.trace = nullptr;
     ctx->has_params = true;
   }
   ctx->slots = std::vector<GatherContext::Slot>(n);
@@ -196,6 +219,9 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
   // parallel mode, inline otherwise. Touches only ctx and the shard.
   auto probe = [ctx](const Shard* shard, std::size_t t, std::size_t s,
                      const Collection* replica_reader) {
+    static Histogram& probe_latency =
+        Registry::Global().GetHistogram("vdb_shard_probe_seconds");
+    ScopedLatencyTimer probe_timer(probe_latency);
     GatherContext::Slot& slot = ctx->slots[t];
     if (std::uint32_t ms = FailpointDelayMs("shard.knn.delay", s)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -251,6 +277,9 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
       }
       if (skip) {
         skipped[t] = true;
+        reg.GetGauge("vdb_shard_breaker_cooldown{shard=\"" +
+                     std::to_string(s) + "\"}")
+            .Set(cd > 0 ? cd - 1 : 0);
         continue;
       }
     }
@@ -326,6 +355,8 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
     parts.push_back(std::move(slot.part));
   }
 
+  if (failed > 0) probe_failures.Inc(failed);
+  if (agg.shard_retries > 0) retry_count.Inc(agg.shard_retries);
   if (failed > 0) {
     if (failed == n) {
       return first_failure.ok()
@@ -337,9 +368,11 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
                  ? Status::IoError("shard unavailable (breaker open)")
                  : first_failure;
     }
+    degraded.Inc();  // partial success: results degraded to healthy shards
   }
   agg.shards_failed = failed;
   agg.partial = failed > 0;
+  gather_span.RecordStats(agg);
   if (stats != nullptr) *stats += agg;
   *out = MergeTopK(parts, k);
   return Status::Ok();

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "core/telemetry.h"
+#include "exec/trace.h"
+
 namespace vdb {
 
 namespace {
@@ -135,6 +138,11 @@ class Parser {
 
   Result<ParsedQuery> Parse() {
     ParsedQuery query;
+    if (KeywordIs(Peek(), "EXPLAIN")) {
+      Advance();
+      VDB_RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      query.explain_analyze = true;
+    }
     VDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     VDB_RETURN_IF_ERROR(ExpectKeyword("KNN"));
     VDB_RETURN_IF_ERROR(ExpectSymbol("("));
@@ -333,11 +341,22 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
   return parser.Parse();
 }
 
-Result<std::vector<Neighbor>> ExecuteQuery(Database* db,
-                                           const std::string& text,
-                                           ExecStats* stats) {
+Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text) {
   if (db == nullptr) return Status::InvalidArgument("db must not be null");
-  VDB_ASSIGN_OR_RETURN(ParsedQuery query, ParseQuery(text));
+  auto& reg = Registry::Global();
+  static Counter& query_count = reg.GetCounter("vdb_queries_total");
+  static Histogram& latency = reg.GetHistogram("vdb_query_seconds");
+  query_count.Inc();
+
+  QueryResult result;
+  QueryTrace trace;
+  TraceScope root(&trace, "query");
+
+  ParsedQuery query;
+  {
+    TraceScope parse_span(&trace, "parse");
+    VDB_ASSIGN_OR_RETURN(query, ParseQuery(text));
+  }
   VDB_ASSIGN_OR_RETURN(Collection * collection,
                        db->GetCollection(query.collection));
   if (query.query_vector.size() != collection->dim()) {
@@ -345,17 +364,39 @@ Result<std::vector<Neighbor>> ExecuteQuery(Database* db,
         "query vector has " + std::to_string(query.query_vector.size()) +
         " dims; collection expects " + std::to_string(collection->dim()));
   }
-  std::vector<Neighbor> out;
+  SearchParams params;
+  params.trace = &trace;
+  params.k = query.k;  // the plan choice depends on k
   if (query.has_predicate) {
-    VDB_RETURN_IF_ERROR(collection->Hybrid(query.query_vector,
-                                           query.predicate, query.k, &out,
-                                           stats));
+    // Report the plan the optimizer would pick; execution re-plans
+    // internally (planning is a cheap selectivity estimate).
+    VDB_ASSIGN_OR_RETURN(HybridPlan plan,
+                         collection->ExplainHybrid(query.predicate, &params));
+    result.plan = plan.ToString();
+    VDB_RETURN_IF_ERROR(collection->Hybrid(query.query_vector, query.predicate,
+                                           query.k, &result.rows, &result.stats,
+                                           nullptr, &params));
   } else {
-    SearchStats* search_stats = stats != nullptr ? &stats->search : nullptr;
-    VDB_RETURN_IF_ERROR(
-        collection->Knn(query.query_vector, query.k, &out, search_stats));
+    VDB_RETURN_IF_ERROR(collection->Knn(query.query_vector, query.k,
+                                        &result.rows, &result.stats.search,
+                                        &params));
   }
-  return out;
+  root.End();
+  latency.Observe(trace.TotalMillis() / 1e3);
+  MaybeLogSlowQuery(trace, text);
+  if (query.explain_analyze) {
+    if (!result.plan.empty()) result.explain = "plan: " + result.plan + "\n";
+    result.explain += trace.Render();
+  }
+  return result;
+}
+
+Result<std::vector<Neighbor>> ExecuteQuery(Database* db,
+                                           const std::string& text,
+                                           ExecStats* stats) {
+  VDB_ASSIGN_OR_RETURN(QueryResult result, ExecuteQueryTraced(db, text));
+  if (stats != nullptr) *stats = result.stats;
+  return std::move(result.rows);
 }
 
 }  // namespace vdb

@@ -29,20 +29,39 @@ namespace vdb {
 /// Literals: integers, floats (any '.'-containing number), and
 /// single-quoted strings ('' escapes a quote). Keywords are
 /// case-insensitive; identifiers are case-sensitive.
+///
+/// A query may be prefixed with `EXPLAIN ANALYZE`, which executes it and
+/// additionally returns the chosen plan plus the measured span tree
+/// (per-stage wall times and SearchStats).
 struct ParsedQuery {
   std::string collection;
   std::size_t k = 10;
   std::vector<float> query_vector;
   Predicate predicate;  ///< Predicate::True() when no WHERE clause
   bool has_predicate = false;
+  bool explain_analyze = false;
 };
 
 /// Parses the dialect above; errors carry position context.
 Result<ParsedQuery> ParseQuery(const std::string& text);
 
+/// Execution result with the full per-query telemetry surface.
+struct QueryResult {
+  std::vector<Neighbor> rows;
+  ExecStats stats;
+  std::string plan;     ///< chosen hybrid plan; empty for pure k-NN
+  std::string explain;  ///< measured span tree; nonempty iff EXPLAIN ANALYZE
+};
+
 /// Parses and executes against `db` (hybrid path when a WHERE clause is
 /// present, plain k-NN otherwise). The relational-optimizer analogy of
 /// §2.4(2): the collection's configured plan optimizer picks the plan.
+/// Every query is traced (spans feed the slow-query log and, under
+/// EXPLAIN ANALYZE, the returned `explain` text) and counted in the
+/// global metrics registry.
+Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text);
+
+/// Compatibility wrapper around ExecuteQueryTraced returning rows only.
 Result<std::vector<Neighbor>> ExecuteQuery(Database* db,
                                            const std::string& text,
                                            ExecStats* stats = nullptr);

@@ -1,18 +1,35 @@
 #include "exec/executor.h"
 
 #include "core/topk.h"
+#include "exec/trace.h"
 
 namespace vdb {
+
+namespace {
+
+/// Wraps predicate bitmask evaluation in a trace span.
+Result<Bitset> EvaluatePredicate(const Predicate& pred,
+                                 const AttributeStore& attrs,
+                                 QueryTrace* trace) {
+  TraceScope span(trace, "predicate_filter");
+  VDB_ASSIGN_OR_RETURN(Bitset bits, pred.Evaluate(attrs));
+  span.Note("matching_rows", std::to_string(bits.Count()));
+  return bits;
+}
+
+}  // namespace
 
 Status HybridExecutor::BruteForce(const Predicate& pred, const float* query,
                                   const SearchParams& params,
                                   std::vector<Neighbor>* out,
                                   ExecStats* stats) const {
-  VDB_ASSIGN_OR_RETURN(Bitset bits, pred.Evaluate(*view_.attrs));
+  VDB_ASSIGN_OR_RETURN(Bitset bits,
+                       EvaluatePredicate(pred, *view_.attrs, params.trace));
   if (stats != nullptr) {
     stats->bitmask_rows += view_.attrs->NumRows();
     stats->matching_rows += bits.Count();
   }
+  TraceScope scan_span(params.trace, "brute_force_scan");
   TopK top(params.k);
   for (VectorId id : view_.vectors->LiveIds()) {
     if (id < bits.size() && !bits.Test(static_cast<std::size_t>(id))) continue;
@@ -44,7 +61,8 @@ Status HybridExecutor::Execute(const HybridPlan& plan, const Predicate& pred,
       if (view_.index == nullptr) {
         return Status::FailedPrecondition("plan requires an index");
       }
-      VDB_ASSIGN_OR_RETURN(Bitset bits, pred.Evaluate(*view_.attrs));
+      VDB_ASSIGN_OR_RETURN(
+          Bitset bits, EvaluatePredicate(pred, *view_.attrs, params.trace));
       if (stats != nullptr) {
         stats->bitmask_rows += view_.attrs->NumRows();
         stats->matching_rows += bits.Count();

@@ -1,0 +1,106 @@
+#ifndef VDB_EXEC_TRACE_H_
+#define VDB_EXEC_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace vdb {
+
+/// One timed stage of a query pipeline. Spans form a tree via `depth`
+/// (children are the spans begun while a parent is open); render order is
+/// begin order, which is also execution order for our single-threaded
+/// per-query pipelines.
+struct TraceSpan {
+  std::string name;
+  int depth = 0;
+  std::uint64_t start_ns = 0;  ///< relative to the trace epoch
+  std::uint64_t dur_ns = 0;    ///< 0 while the span is open
+  bool open = true;
+
+  /// Optional per-span cost annotation (the SearchStats the stage
+  /// accumulated), plus free-form key=value notes (chosen plan, row
+  /// counts, selectivity estimates).
+  SearchStats stats;
+  bool has_stats = false;
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// Per-query trace: records timed spans for each pipeline stage
+/// (parse -> plan -> per-index search -> rerank -> filter -> gather).
+/// Not thread-safe — one trace belongs to one query on one thread; the
+/// distributed scatter path strips the trace from worker params and
+/// annotates a single scatter_gather span instead.
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  /// Opens a span nested under the innermost open span.
+  std::size_t BeginSpan(std::string name);
+  void EndSpan(std::size_t id);
+
+  void Note(std::size_t id, std::string key, std::string value);
+  /// Accumulates `stats` into the span's cost annotation.
+  void RecordStats(std::size_t id, const SearchStats& stats);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  /// Wall time of the root span (or epoch->now while still open).
+  double TotalMillis() const;
+
+  /// Human-readable indented span tree with per-stage wall times, stats,
+  /// and notes — the body of EXPLAIN ANALYZE and the slow-query log.
+  std::string Render() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceSpan> spans_;
+  std::vector<std::size_t> stack_;  ///< open span ids, innermost last
+};
+
+/// RAII span: no-op when `trace` is null, so call sites need no branches.
+class TraceScope {
+ public:
+  TraceScope(QueryTrace* trace, std::string name) : trace_(trace) {
+    if (trace_ != nullptr) id_ = trace_->BeginSpan(std::move(name));
+  }
+  ~TraceScope() { End(); }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void End() {
+    if (trace_ != nullptr) trace_->EndSpan(id_);
+    trace_ = nullptr;
+  }
+  void RecordStats(const SearchStats& stats) {
+    if (trace_ != nullptr) trace_->RecordStats(id_, stats);
+  }
+  void Note(std::string key, std::string value) {
+    if (trace_ != nullptr) trace_->Note(id_, std::move(key), std::move(value));
+  }
+
+ private:
+  QueryTrace* trace_;
+  std::size_t id_ = 0;
+};
+
+// ------------------------------------------------------- slow-query log
+//
+// Queries slower than the threshold get their full span tree logged.
+// Threshold comes from env `VDB_SLOW_QUERY_MS` (unset/negative disables);
+// the setters below override it programmatically (tests, operators).
+
+/// Overrides the slow-query threshold; ms < 0 disables logging.
+void SetSlowQueryThresholdMs(double ms);
+/// Replaces the stderr sink (null restores stderr). For tests.
+void SetSlowQuerySink(void (*sink)(const std::string&));
+/// Logs `trace` (annotated with `query_text`) if it exceeded the
+/// threshold; increments `vdb_slow_queries_total` when it does.
+void MaybeLogSlowQuery(const QueryTrace& trace, const std::string& query_text);
+
+}  // namespace vdb
+
+#endif  // VDB_EXEC_TRACE_H_

@@ -1,9 +1,55 @@
 #include "index/index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "core/telemetry.h"
+#include "exec/trace.h"
+
 namespace vdb {
+
+namespace {
+
+/// Flushes the per-query stats delta into the global registry. All
+/// references are function-local statics: the registry mutex is taken
+/// once per process, after which every search pays only relaxed atomic
+/// adds on per-thread stripes (the acceptance bar: no mutex on Knn).
+void FlushSearchStats(const SearchStats& delta, double seconds) {
+  auto& reg = Registry::Global();
+  static Counter& searches = reg.GetCounter("vdb_index_searches_total");
+  static Counter& dist = reg.GetCounter("vdb_index_distance_comps_total");
+  static Counter& code = reg.GetCounter("vdb_index_code_comps_total");
+  static Counter& nodes = reg.GetCounter("vdb_index_nodes_visited_total");
+  static Counter& hops = reg.GetCounter("vdb_index_hops_total");
+  static Counter& io = reg.GetCounter("vdb_index_io_reads_total");
+  static Counter& filt = reg.GetCounter("vdb_index_filter_checks_total");
+  static Histogram& lat = reg.GetHistogram("vdb_index_search_seconds");
+  searches.Inc();
+  if (delta.distance_comps != 0) dist.Inc(delta.distance_comps);
+  if (delta.code_comps != 0) code.Inc(delta.code_comps);
+  if (delta.nodes_visited != 0) nodes.Inc(delta.nodes_visited);
+  if (delta.hops != 0) hops.Inc(delta.hops);
+  if (delta.io_reads != 0) io.Inc(delta.io_reads);
+  if (delta.filter_checks != 0) filt.Inc(delta.filter_checks);
+  lat.Observe(seconds);
+}
+
+SearchStats Delta(const SearchStats& after, const SearchStats& before) {
+  SearchStats d;
+  d.distance_comps = after.distance_comps - before.distance_comps;
+  d.code_comps = after.code_comps - before.code_comps;
+  d.nodes_visited = after.nodes_visited - before.nodes_visited;
+  d.hops = after.hops - before.hops;
+  d.io_reads = after.io_reads - before.io_reads;
+  d.filter_checks = after.filter_checks - before.filter_checks;
+  d.shards_failed = after.shards_failed - before.shards_failed;
+  d.shard_retries = after.shard_retries - before.shard_retries;
+  d.partial = after.partial;
+  return d;
+}
+
+}  // namespace
 
 Status VectorIndex::Add(const float*, VectorId) {
   return Status::Unsupported(Name() + ": incremental add not supported");
@@ -25,6 +71,15 @@ Status VectorIndex::Search(const float* query, const SearchParams& params,
   out->clear();
   if (params.k == 0) return Status::Ok();
 
+  // Callers may accumulate one SearchStats across many queries, so the
+  // registry flush works on the delta this call produced.
+  SearchStats local;
+  SearchStats* st = stats != nullptr ? stats : &local;
+  const SearchStats before = *st;
+  TraceScope span(params.trace, "index_search:" + Name());
+  const auto start = std::chrono::steady_clock::now();
+
+  Status status;
   if (params.filter != nullptr &&
       params.filter_mode == FilterMode::kPostFilter) {
     // Post-filtering (§2.3): run the scan unfiltered with amplified k, then
@@ -37,14 +92,25 @@ Status VectorIndex::Search(const float* query, const SearchParams& params,
     inner.k = static_cast<std::size_t>(
         std::ceil(static_cast<double>(params.k) * amp));
     std::vector<Neighbor> raw;
-    VDB_RETURN_IF_ERROR(SearchImpl(query, inner, &raw, stats));
-    *out = FilterNeighbors(raw, *params.filter, params.k, stats);
-    return Status::Ok();
+    status = SearchImpl(query, inner, &raw, st);
+    if (status.ok()) {
+      TraceScope filter_span(params.trace, "post_filter");
+      *out = FilterNeighbors(raw, *params.filter, params.k, st);
+      filter_span.Note("kept", std::to_string(out->size()));
+    }
+  } else {
+    SearchParams inner = params;
+    if (inner.filter == nullptr) inner.filter_mode = FilterMode::kNone;
+    status = SearchImpl(query, inner, out, st);
   }
 
-  SearchParams inner = params;
-  if (inner.filter == nullptr) inner.filter_mode = FilterMode::kNone;
-  return SearchImpl(query, inner, out, stats);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const SearchStats delta = Delta(*st, before);
+  FlushSearchStats(delta, seconds);
+  span.RecordStats(delta);
+  return status;
 }
 
 std::vector<Neighbor> FilterNeighbors(const std::vector<Neighbor>& results,

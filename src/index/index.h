@@ -12,6 +12,8 @@
 
 namespace vdb {
 
+class QueryTrace;  // exec/trace.h — optional per-query span recorder
+
 /// Predicate pushed into an index scan. `Matches` must be cheap and
 /// thread-safe; implementations wrap attribute bitmasks (the block-first
 /// bitmask technique of §2.3) or arbitrary callbacks.
@@ -74,6 +76,10 @@ struct SearchParams {
   FilterMode filter_mode = FilterMode::kBlockFirst;
   /// Post-filter amplification `a`: retrieve a*k then filter (§2.6(3)).
   float post_filter_amplification = 3.0f;
+
+  /// Optional per-query trace (not owned, not thread-safe): layers that
+  /// see it record timed spans. Null disables tracing at zero cost.
+  QueryTrace* trace = nullptr;
 };
 
 /// Abstract approximate/exact nearest-neighbor index over one vector

@@ -2,6 +2,7 @@
 
 #include "core/kmeans.h"
 #include "core/topk.h"
+#include "exec/trace.h"
 
 namespace vdb {
 
@@ -54,6 +55,8 @@ Status IvfSqIndex::SearchImpl(const float* query, const SearchParams& params,
   }
   auto candidates = approx.Take();
 
+  TraceScope rerank_span(params.rerank ? params.trace : nullptr, "rerank");
+  rerank_span.Note("candidates", std::to_string(candidates.size()));
   TopK top(params.k);
   for (const auto& cand : candidates) {
     auto idx = static_cast<std::uint32_t>(cand.id);

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/failpoint.h"
+#include "core/telemetry.h"
 #include "core/topk.h"
+#include "exec/trace.h"
 
 namespace vdb {
 
@@ -90,6 +92,9 @@ Status LsmVectorStore::Flush() {
   VDB_RETURN_IF_ERROR(BuildSegment(std::move(data), std::move(ids)));
   memtable_ = VectorStore(dim_);
   ++flushes_;
+  static Counter& flush_count =
+      Registry::Global().GetCounter("vdb_lsm_flushes_total");
+  flush_count.Inc();
   if (segments_.size() >= opts_.compact_at_segments) {
     VDB_RETURN_IF_ERROR(Compact());
   }
@@ -117,6 +122,9 @@ Status LsmVectorStore::Compact() {
   segments_.clear();
   tombstones_.clear();
   ++compactions_;
+  static Counter& compaction_count =
+      Registry::Global().GetCounter("vdb_lsm_compactions_total");
+  compaction_count.Inc();
   if (ids.empty()) return Status::Ok();
   return BuildSegment(std::move(merged), std::move(ids));
 }
@@ -139,6 +147,7 @@ Status LsmVectorStore::Search(const float* query, const SearchParams& params,
   std::vector<std::vector<Neighbor>> parts;
   // Memtable: brute-force similarity projection (always fresh).
   {
+    TraceScope span(params.trace, "lsm_memtable_scan");
     TopK top(params.k);
     for (VectorId id : memtable_.LiveIds()) {
       if (params.filter != nullptr) {
@@ -151,8 +160,11 @@ Status LsmVectorStore::Search(const float* query, const SearchParams& params,
     }
     parts.push_back(top.Take());
   }
+  static Counter& segment_searches =
+      Registry::Global().GetCounter("vdb_lsm_segment_searches_total");
   for (const auto& seg : segments_) {
     std::vector<Neighbor> part;
+    segment_searches.Inc();
     VDB_RETURN_IF_ERROR(seg.index->Search(query, inner, &part, stats));
     parts.push_back(std::move(part));
   }

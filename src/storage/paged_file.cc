@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "core/failpoint.h"
+#include "core/telemetry.h"
 
 namespace vdb {
 
@@ -117,22 +118,35 @@ Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
   if (page_id >= num_pages_) {
     return Status::OutOfRange("page beyond end of file");
   }
-  if (CacheLookup(page_id, buf)) return Status::Ok();
+  auto& reg = Registry::Global();
+  static Counter& cache_hit_count =
+      reg.GetCounter("vdb_paged_file_cache_hits_total");
+  static Counter& read_count = reg.GetCounter("vdb_paged_file_reads_total");
+  static Counter& read_failures =
+      reg.GetCounter("vdb_paged_file_read_failures_total");
+  if (CacheLookup(page_id, buf)) {
+    cache_hit_count.Inc();
+    return Status::Ok();
+  }
   if (fault_after_ >= 0) {
     if (fault_after_ == 0) {
+      read_failures.Inc();
       return Status::IoError("injected read fault");
     }
     --fault_after_;
   }
   if (FailpointFires("paged_file.read.fail")) {
+    read_failures.Inc();
     return Status::IoError("injected failure: paged_file.read.fail");
   }
   if (!PreadFully(fd_, buf, opts_.page_size,
                   static_cast<off_t>(page_id * opts_.page_size))) {
+    read_failures.Inc();
     return Status::IoError("pread page " + std::to_string(page_id) + ": " +
                            std::strerror(errno));
   }
   ++reads_;
+  read_count.Inc();
   if (FailpointFires("paged_file.read.corrupt")) {
     // Media corruption: one bit flips on the way in. Intentionally not
     // cached — upper layers (CRC-framed formats) must detect this read.
@@ -153,6 +167,9 @@ Status PagedFile::WritePage(std::uint64_t page_id, const std::uint8_t* buf) {
                            std::strerror(errno));
   }
   ++writes_;
+  static Counter& write_count =
+      Registry::Global().GetCounter("vdb_paged_file_writes_total");
+  write_count.Inc();
   if (page_id >= num_pages_) num_pages_ = page_id + 1;
   CacheInsert(page_id, buf);
   return Status::Ok();

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "core/failpoint.h"
+#include "core/telemetry.h"
 
 namespace vdb {
 
@@ -155,6 +156,12 @@ Wal::~Wal() {
 
 Status Wal::AppendRecord(std::uint8_t type,
                          const std::vector<std::uint8_t>& body) {
+  auto& reg = Registry::Global();
+  static Counter& appends = reg.GetCounter("vdb_wal_appends_total");
+  static Counter& failures = reg.GetCounter("vdb_wal_append_failures_total");
+  static Histogram& latency = reg.GetHistogram("vdb_wal_append_seconds");
+  appends.Inc();
+  ScopedLatencyTimer timer(latency);
   // Frame: [u32 body_len][u8 type][body][u32 crc(type+body)].
   std::vector<std::uint8_t> frame;
   frame.reserve(body.size() + 9);
@@ -166,6 +173,7 @@ Status Wal::AppendRecord(std::uint8_t type,
   PutBytes(&crc_input, body.data(), body.size());
   PutU32(&frame, Crc32(crc_input.data(), crc_input.size()));
   if (FailpointFires("wal.append.fail")) {
+    failures.Inc();
     return Status::IoError("injected failure: wal.append.fail");
   }
   if (FailpointFires("wal.append.short_write")) {
@@ -173,9 +181,12 @@ Status Wal::AppendRecord(std::uint8_t type,
     // file, then the "process dies" (the caller sees an I/O error). Replay
     // must stop cleanly at the preceding record.
     (void)WriteFully(fd_, frame.data(), frame.size() / 2);
+    failures.Inc();
     return Status::IoError("injected failure: wal.append.short_write");
   }
-  return WriteFully(fd_, frame.data(), frame.size());
+  Status status = WriteFully(fd_, frame.data(), frame.size());
+  if (!status.ok()) failures.Inc();
+  return status;
 }
 
 Status Wal::AppendInsert(VectorId id, std::span<const float> vec,
@@ -219,11 +230,19 @@ Status Wal::AppendDelete(VectorId id) {
 }
 
 Status Wal::Sync() {
+  auto& reg = Registry::Global();
+  static Counter& fsyncs = reg.GetCounter("vdb_wal_fsyncs_total");
+  static Counter& failures = reg.GetCounter("vdb_wal_fsync_failures_total");
+  static Histogram& latency = reg.GetHistogram("vdb_wal_fsync_seconds");
+  fsyncs.Inc();
+  ScopedLatencyTimer timer(latency);
   if (FailpointFires("wal.sync.fail")) {
+    failures.Inc();
     return Status::IoError("injected failure: wal.sync.fail");
   }
   while (::fsync(fd_) != 0) {
     if (errno == EINTR) continue;
+    failures.Inc();
     return Status::IoError(ErrnoText("wal fsync"));
   }
   return Status::Ok();

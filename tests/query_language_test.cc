@@ -60,6 +60,22 @@ TEST(QueryParseTest, StringEscapes) {
   EXPECT_EQ(parsed->predicate.ToString(), "name = 'o'brien'");
 }
 
+TEST(QueryParseTest, ExplainAnalyzePrefix) {
+  auto parsed = ParseQuery(
+      "EXPLAIN ANALYZE SELECT knn(5) FROM c ORDER BY distance([1])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->explain_analyze);
+  EXPECT_EQ(parsed->k, 5u);
+
+  parsed = ParseQuery("SELECT knn(5) FROM c ORDER BY distance([1])");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->explain_analyze);
+
+  // EXPLAIN without ANALYZE is not in the dialect.
+  EXPECT_FALSE(
+      ParseQuery("EXPLAIN SELECT knn(5) FROM c ORDER BY distance([1])").ok());
+}
+
 TEST(QueryParseTest, RejectsMalformedQueries) {
   const char* bad[] = {
       "",
@@ -148,6 +164,43 @@ TEST(QueryExecuteTest, HybridHonorsWhereClause) {
     EXPECT_LT(nb.id, 400u);
   }
   EXPECT_GE(stats.est_selectivity, 0.0);  // optimizer consulted
+}
+
+TEST(QueryExecuteTest, ExplainAnalyzeRendersSpanTree) {
+  QlFixture fx;
+  std::string sql =
+      "EXPLAIN ANALYZE SELECT knn(5) FROM items "
+      "WHERE category = 2 AND price < 400.0 "
+      "ORDER BY distance(" + fx.VectorLiteral(10) + ")";
+  auto traced = ExecuteQueryTraced(&fx.db, sql);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  ASSERT_FALSE(traced->rows.empty());
+  for (const auto& nb : traced->rows) EXPECT_EQ(nb.id % 4, 2u);
+  EXPECT_FALSE(traced->plan.empty());
+  // The rendered tree covers the pipeline stages with per-stage times.
+  EXPECT_NE(traced->explain.find("plan: " + traced->plan),
+            std::string::npos);
+  EXPECT_NE(traced->explain.find("query"), std::string::npos);
+  EXPECT_NE(traced->explain.find("parse"), std::string::npos);
+  EXPECT_NE(traced->explain.find("ms"), std::string::npos);
+}
+
+TEST(QueryExecuteTest, TracedWithoutExplainIsSilent) {
+  QlFixture fx;
+  std::string sql = "SELECT knn(5) FROM items ORDER BY distance(" +
+                    fx.VectorLiteral(42) + ")";
+  auto traced = ExecuteQueryTraced(&fx.db, sql);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_TRUE(traced->explain.empty());
+  ASSERT_EQ(traced->rows.size(), 5u);
+  EXPECT_EQ(traced->rows[0].id, 42u);
+  // Same rows as the untraced wrapper.
+  auto rows = ExecuteQuery(&fx.db, sql);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), traced->rows.size());
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i].id, traced->rows[i].id);
+  }
 }
 
 TEST(QueryExecuteTest, ErrorsSurfaceCleanly) {

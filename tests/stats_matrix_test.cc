@@ -1,0 +1,164 @@
+// SearchStats matrix: every index family must report its per-query work
+// (the numbers EXPLAIN ANALYZE and the metrics registry surface), and the
+// operator+= aggregation the scatter-gather path relies on must equal the
+// per-shard sums.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/synthetic.h"
+#include "db/distributed.h"
+#include "index/fanng.h"
+#include "index/flat.h"
+#include "index/hnsw.h"
+#include "index/ivf.h"
+#include "index/ivf_pq.h"
+#include "index/ivf_sq.h"
+#include "index/kd_tree.h"
+#include "index/knn_graph.h"
+#include "index/lsh.h"
+#include "index/nsw.h"
+#include "index/pca_tree.h"
+#include "index/rp_forest.h"
+#include "index/spectral_hash.h"
+#include "index/vamana.h"
+
+namespace vdb {
+namespace {
+
+TEST(StatsMatrixTest, EveryIndexFamilyPopulatesSearchStats) {
+  auto data = GaussianClusters({800, 16, 7, 16});
+  SearchParams p;
+  p.k = 10;
+  p.ef = 32;
+  p.nprobe = 8;
+  p.max_leaf_visits = 32;
+  p.lsh_probes = 4;
+
+  IvfOptions io;
+  io.nlist = 16;
+  IvfPqOptions po;
+  po.ivf.nlist = 16;
+  po.pq.m = 4;
+  LshOptions lo;
+  lo.bucket_width = 3.0f;
+  SpectralHashOptions sho;
+  sho.bits = 32;
+
+  std::vector<std::pair<std::string, std::unique_ptr<VectorIndex>>> indexes;
+  indexes.emplace_back("flat", std::make_unique<FlatIndex>());
+  indexes.emplace_back("lsh", std::make_unique<LshIndex>(lo));
+  indexes.emplace_back("spectral", std::make_unique<SpectralHashIndex>(sho));
+  indexes.emplace_back("ivf-flat", std::make_unique<IvfFlatIndex>(io));
+  indexes.emplace_back("ivf-sq", std::make_unique<IvfSqIndex>(io));
+  indexes.emplace_back("ivf-pq", std::make_unique<IvfPqIndex>(po));
+  indexes.emplace_back("kd-tree", std::make_unique<KdTreeIndex>());
+  indexes.emplace_back("rp-forest", std::make_unique<RpForestIndex>());
+  indexes.emplace_back("pca-tree", std::make_unique<PcaTreeIndex>());
+  indexes.emplace_back("kgraph", std::make_unique<KnnGraphIndex>());
+  indexes.emplace_back("nsw", std::make_unique<NswIndex>());
+  indexes.emplace_back("hnsw", std::make_unique<HnswIndex>());
+  indexes.emplace_back("vamana", std::make_unique<VamanaIndex>());
+  indexes.emplace_back("fanng", std::make_unique<FanngIndex>());
+
+  for (auto& [name, index] : indexes) {
+    ASSERT_TRUE(index->Build(data, {}).ok()) << name;
+    std::vector<Neighbor> out;
+    SearchStats stats;
+    ASSERT_TRUE(index->Search(data.row(0), p, &out, &stats).ok()) << name;
+    EXPECT_FALSE(out.empty()) << name;
+    // Every family computes either raw or compressed distances.
+    EXPECT_GT(stats.distance_comps + stats.code_comps, 0u) << name;
+  }
+}
+
+TEST(StatsMatrixTest, GraphIndexesReportTraversalWork) {
+  auto data = GaussianClusters({800, 16, 7, 16});
+  SearchParams p;
+  p.k = 10;
+  p.ef = 32;
+  std::vector<std::pair<std::string, std::unique_ptr<VectorIndex>>> graphs;
+  graphs.emplace_back("nsw", std::make_unique<NswIndex>());
+  graphs.emplace_back("hnsw", std::make_unique<HnswIndex>());
+  graphs.emplace_back("vamana", std::make_unique<VamanaIndex>());
+  for (auto& [name, index] : graphs) {
+    ASSERT_TRUE(index->Build(data, {}).ok()) << name;
+    std::vector<Neighbor> out;
+    SearchStats stats;
+    ASSERT_TRUE(index->Search(data.row(0), p, &out, &stats).ok()) << name;
+    EXPECT_GT(stats.nodes_visited, 0u) << name;
+    EXPECT_GT(stats.hops, 0u) << name;
+  }
+}
+
+TEST(StatsMatrixTest, PlusEqualsSumsEveryField) {
+  SearchStats a;
+  a.distance_comps = 2;
+  a.code_comps = 3;
+  a.nodes_visited = 5;
+  a.hops = 7;
+  a.io_reads = 11;
+  a.filter_checks = 13;
+  a.shards_failed = 17;
+  a.shard_retries = 19;
+  a.partial = false;
+  SearchStats b;
+  b.distance_comps = 100;
+  b.code_comps = 200;
+  b.nodes_visited = 300;
+  b.hops = 400;
+  b.io_reads = 500;
+  b.filter_checks = 600;
+  b.shards_failed = 700;
+  b.shard_retries = 800;
+  b.partial = true;
+  a += b;
+  EXPECT_EQ(a.distance_comps, 102u);
+  EXPECT_EQ(a.code_comps, 203u);
+  EXPECT_EQ(a.nodes_visited, 305u);
+  EXPECT_EQ(a.hops, 407u);
+  EXPECT_EQ(a.io_reads, 511u);
+  EXPECT_EQ(a.filter_checks, 613u);
+  EXPECT_EQ(a.shards_failed, 717u);
+  EXPECT_EQ(a.shard_retries, 819u);
+  EXPECT_TRUE(a.partial);
+}
+
+TEST(StatsMatrixTest, ScatterGatherAggregationMatchesPerShardSums) {
+  // Flat shards scan every resident vector exactly once, so however the
+  // router partitions the data, the aggregated distance_comps across all
+  // shards must equal the aggregate over one unsharded scan of the same
+  // rows: n. That pins the += aggregation in the gather path.
+  const std::size_t n = 300;
+  auto data = GaussianClusters({n, 8, 5, 4});
+
+  CollectionOptions per_shard;
+  per_shard.dim = 8;
+  per_shard.index_factory = [] { return std::make_unique<FlatIndex>(); };
+
+  for (std::size_t shards : {1, 2, 4}) {
+    ShardedOptions opts;
+    opts.num_shards = shards;
+    opts.collection = per_shard;
+    auto sharded = ShardedCollection::Create(opts);
+    ASSERT_TRUE(sharded.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE((*sharded)->Insert(i, data.row_view(i)).ok());
+    }
+    ASSERT_TRUE((*sharded)->BuildIndexes().ok());
+    std::vector<Neighbor> out;
+    SearchStats stats;
+    ASSERT_TRUE(
+        (*sharded)->Knn(data.row_view(0), 5, &out, &stats, false).ok());
+    EXPECT_EQ(stats.distance_comps, n) << shards << " shards";
+    EXPECT_EQ(stats.shards_failed, 0u);
+    EXPECT_FALSE(stats.partial);
+  }
+}
+
+}  // namespace
+}  // namespace vdb
