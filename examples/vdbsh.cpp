@@ -6,7 +6,9 @@
 //
 // Prefix any query with EXPLAIN ANALYZE to print the chosen plan and the
 // measured span tree. The line `.metrics` dumps the process metrics
-// registry in Prometheus text format.
+// registry in Prometheus text format; `.scrub <dir>` verifies every CRC
+// in a RecoveryManager data directory (append `quarantine` to move
+// corrupt files aside).
 //
 // With no stdin input (e.g. under ctest) it runs a canned demo script.
 //
@@ -22,6 +24,7 @@
 #include "core/telemetry.h"
 #include "db/database.h"
 #include "db/query_language.h"
+#include "db/scrubber.h"
 #include "index/hnsw.h"
 
 namespace {
@@ -71,11 +74,35 @@ int main() {
               products.Size());
   std::printf("dialect: [EXPLAIN ANALYZE] SELECT knn(k) FROM products "
               "[WHERE <pred>] ORDER BY distance([8 floats])\n");
-  std::printf("         .metrics dumps the Prometheus registry\n\n");
+  std::printf("         .metrics dumps the Prometheus registry\n");
+  std::printf("         .scrub <dir> [quarantine] verifies a data dir's "
+              "CRCs\n\n");
 
   auto run = [&](const std::string& line) {
     if (line == ".metrics") {
       std::fputs(Registry::Global().RenderPrometheus().c_str(), stdout);
+      return;
+    }
+    if (line.rfind(".scrub", 0) == 0) {
+      std::string rest = line.substr(6);
+      ScrubOptions sopts;
+      std::size_t q = rest.find("quarantine");
+      if (q != std::string::npos) {
+        sopts.quarantine = true;
+        rest = rest.substr(0, q);
+      }
+      std::size_t b = rest.find_first_not_of(" \t");
+      std::size_t e = rest.find_last_not_of(" \t");
+      if (b == std::string::npos) {
+        std::printf("usage: .scrub <dir> [quarantine]\n");
+        return;
+      }
+      auto report = ScrubDirectory(rest.substr(b, e - b + 1), sopts);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        return;
+      }
+      std::fputs(report->ToString().c_str(), stdout);
       return;
     }
     auto result = ExecuteQueryTraced(&db, line);

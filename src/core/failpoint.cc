@@ -1,5 +1,7 @@
 #include "core/failpoint.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <mutex>
 #include <random>
@@ -255,6 +257,10 @@ std::uint32_t FailpointDelayMs(const char* name, std::size_t index) {
     return ms > 0 ? ms : 1;
   }
   return 0;
+}
+
+void FailpointCrashNow(const char* name) {
+  if (Failpoints::Instance().Fires(name)) ::_exit(2);
 }
 
 // Construct the registry at startup so VDB_FAILPOINTS arms before the

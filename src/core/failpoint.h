@@ -87,6 +87,18 @@ bool FailpointFires(const char* name, std::size_t index);
 /// now, 0 otherwise. The caller sleeps; the registry never blocks.
 std::uint32_t FailpointDelayMs(const char* name, std::size_t index);
 
+/// Crash-site hook for the fork-and-kill torture harness: `_exit(2)`s
+/// the process (no atexit handlers, no flushes — a faithful `kill -9`
+/// stand-in) when the named failpoint fires. Sites are compiled into
+/// the durability paths (`crash.wal.append.torn`, `crash.manifest.bak`,
+/// ...) and cost the usual relaxed load while nothing is armed. Only a
+/// test child process should ever arm a `crash.*` name.
+void FailpointCrashNow(const char* name);
+inline void FailpointCrashSite(const char* name) {
+  if (!Failpoints::AnyArmed()) return;
+  FailpointCrashNow(name);
+}
+
 /// Arms a failpoint for one scope (tests): disarms on destruction.
 class ScopedFailpoint {
  public:

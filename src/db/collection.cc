@@ -8,6 +8,8 @@
 #include "exec/trace.h"
 #include "index/hnsw.h"
 #include "index/ivf.h"
+#include "index/ivf_pq.h"
+#include "storage/manifest.h"
 #include "storage/serializer.h"
 
 namespace vdb {
@@ -16,8 +18,6 @@ namespace {
 
 /// Ids at or above this are internal multi-vector member rows.
 constexpr VectorId kInternalIdBase = VectorId{1} << 62;
-
-constexpr std::uint32_t kCheckpointMagic = 0x5643484B;  // "VCHK"
 
 /// Composes: user filter AND not-tombstoned AND id-is-in-index guard.
 class ComposedFilter final : public IdFilter {
@@ -86,27 +86,103 @@ Result<std::unique_ptr<Collection>> Collection::Create(
 
 Result<std::unique_ptr<Collection>> Collection::Open(CollectionOptions opts) {
   std::string wal_path = opts.wal_path;
+  opts.wal_path.clear();  // replay + truncate the tail before appending
   VDB_ASSIGN_OR_RETURN(std::unique_ptr<Collection> collection,
                        Create(std::move(opts)));
   if (!wal_path.empty()) {
-    struct Replayer : Wal::Visitor {
-      Collection* c;
-      Status status;
-      void OnInsert(VectorId id, std::span<const float> vec,
-                    const std::vector<AttrBinding>& attrs) override {
-        if (!status.ok()) return;
-        status = c->InsertInternal(id, vec.data(), attrs, /*log=*/false);
-      }
-      void OnDelete(VectorId id) override {
-        if (!status.ok()) return;
-        status = c->DeleteInternal(id, /*log=*/false);
-      }
-    } replayer;
-    replayer.c = collection.get();
-    VDB_RETURN_IF_ERROR(Wal::Replay(wal_path, &replayer));
-    VDB_RETURN_IF_ERROR(replayer.status);
+    std::size_t valid_bytes = 0;
+    VDB_RETURN_IF_ERROR(
+        collection->ReplayWalFile(wal_path, nullptr, &valid_bytes));
+    // A torn tail (crash mid-append) must go before the log reopens for
+    // append — otherwise new records land after garbage and the next
+    // replay, which stops at the garbage, can never reach them.
+    VDB_RETURN_IF_ERROR(Wal::TruncateTo(wal_path, valid_bytes));
+    VDB_RETURN_IF_ERROR(collection->AttachWal(wal_path));
   }
   return collection;
+}
+
+Status Collection::ReplayWalFile(const std::string& path, std::size_t* applied,
+                                 std::size_t* valid_bytes) {
+  struct Replayer : Wal::Visitor {
+    Collection* c;
+    Status status;
+    void OnInsert(VectorId id, std::span<const float> vec,
+                  const std::vector<AttrBinding>& attrs) override {
+      if (!status.ok()) return;
+      status = c->InsertInternal(id, vec.data(), attrs, /*log=*/false);
+      // Records already absorbed by a checkpoint replay as duplicates:
+      // skip them (the checkpoint is a prefix of the log's effects).
+      if (status.code() == StatusCode::kAlreadyExists) status = Status::Ok();
+    }
+    void OnDelete(VectorId id) override {
+      if (!status.ok()) return;
+      status = c->DeleteInternal(id, /*log=*/false);
+      if (status.code() == StatusCode::kNotFound) status = Status::Ok();
+    }
+  } replayer;
+  replayer.c = this;
+  VDB_RETURN_IF_ERROR(Wal::Replay(path, &replayer, applied, valid_bytes));
+  return replayer.status;
+}
+
+Status Collection::AttachWal(const std::string& path) {
+  VDB_ASSIGN_OR_RETURN(wal_, Wal::Open(path));
+  opts_.wal_path = path;
+  return Status::Ok();
+}
+
+Status Collection::SyncWal() {
+  if (wal_ == nullptr) return Status::Ok();
+  return wal_->Sync();
+}
+
+Status Collection::SaveIndexSnapshot(const std::string& path) const {
+  if (index_ == nullptr) {
+    return Status::Unsupported("no monolithic index to snapshot");
+  }
+  // The snapshot stands in for "the index over exactly the live rows of
+  // the matching checkpoint"; a dirty index (delta rows it cannot see,
+  // tombstones it still reports) would break that equation on load.
+  if (!index_tombstones_.empty() ||
+      indexed_ids_.size() != vectors_.live_count()) {
+    return Status::Unsupported("index not clean; rebuild on recovery");
+  }
+  if (auto* hnsw = dynamic_cast<const HnswIndex*>(index_.get())) {
+    return hnsw->Save(path);
+  }
+  if (auto* ivf = dynamic_cast<const IvfFlatIndex*>(index_.get())) {
+    return ivf->Save(path);
+  }
+  if (auto* ivfpq = dynamic_cast<const IvfPqIndex*>(index_.get())) {
+    return ivfpq->Save(path);
+  }
+  return Status::Unsupported("index type has no serializer");
+}
+
+Status Collection::LoadIndexSnapshot(const std::string& path) {
+  if (lsm_ != nullptr) {
+    return Status::Unsupported("LSM collections have no monolithic index");
+  }
+  // Each loader validates its own magic up front, so probing in sequence
+  // is a cheap dispatch (the magic constants are private to each index).
+  std::unique_ptr<VectorIndex> loaded;
+  if (auto hnsw = HnswIndex::Load(path); hnsw.ok()) {
+    loaded = std::move(*hnsw);
+  } else if (auto ivf = IvfFlatIndex::Load(path); ivf.ok()) {
+    loaded = std::move(*ivf);
+  } else if (auto ivfpq = IvfPqIndex::Load(path); ivfpq.ok()) {
+    loaded = std::move(*ivfpq);
+  } else {
+    return hnsw.status();  // the most informative of the three
+  }
+  index_ = std::move(loaded);
+  // Contract: called right after Restore of the matching checkpoint, so
+  // the snapshot covers exactly today's live rows.
+  std::vector<VectorId> live = vectors_.LiveIds();
+  indexed_ids_ = {live.begin(), live.end()};
+  index_tombstones_.clear();
+  return Status::Ok();
 }
 
 Status Collection::InsertInternal(VectorId id, const float* vec,
@@ -315,28 +391,10 @@ Result<std::unique_ptr<Collection>> Collection::Restore(
   VDB_ASSIGN_OR_RETURN(c->next_internal_id_, r.U64());
 
   if (!wal_path.empty()) {
-    struct Replayer : Wal::Visitor {
-      Collection* c;
-      Status status;
-      void OnInsert(VectorId id, std::span<const float> vec,
-                    const std::vector<AttrBinding>& attrs) override {
-        if (!status.ok()) return;
-        status = c->InsertInternal(id, vec.data(), attrs, /*log=*/false);
-        // Records already absorbed by the checkpoint replay as duplicates:
-        // skip them (checkpoint is a prefix of the log's effects).
-        if (status.code() == StatusCode::kAlreadyExists) status = Status::Ok();
-      }
-      void OnDelete(VectorId id) override {
-        if (!status.ok()) return;
-        status = c->DeleteInternal(id, /*log=*/false);
-        if (status.code() == StatusCode::kNotFound) status = Status::Ok();
-      }
-    } replayer;
-    replayer.c = c.get();
-    VDB_RETURN_IF_ERROR(Wal::Replay(wal_path, &replayer));
-    VDB_RETURN_IF_ERROR(replayer.status);
-    c->opts_.wal_path = wal_path;
-    VDB_ASSIGN_OR_RETURN(c->wal_, Wal::Open(wal_path));
+    std::size_t valid_bytes = 0;
+    VDB_RETURN_IF_ERROR(c->ReplayWalFile(wal_path, nullptr, &valid_bytes));
+    VDB_RETURN_IF_ERROR(Wal::TruncateTo(wal_path, valid_bytes));
+    VDB_RETURN_IF_ERROR(c->AttachWal(wal_path));
   }
   return c;
 }

@@ -101,14 +101,40 @@ class Collection {
   Status BuildIndex();
 
   /// Serializes the data plane (vectors, attributes, multi-vector entity
-  /// maps) to one CRC-guarded snapshot file. Pair with WAL truncation for
-  /// bounded-recovery checkpointing.
+  /// maps) to one CRC-guarded snapshot file, installed atomically (temp
+  /// file + rename + parent-dir fsync). Pair with WAL rotation for
+  /// bounded-recovery checkpointing (RecoveryManager orchestrates this).
   Status Checkpoint(const std::string& path) const;
   /// Rebuilds a collection from a `Checkpoint` file, then replays
   /// `opts.wal_path` (if set) on top — checkpoint + WAL = full recovery.
-  /// Indexes are not part of the snapshot; call BuildIndex() after.
+  /// A torn WAL tail is truncated before the log reopens for append.
+  /// Indexes are not part of the snapshot; call BuildIndex() (or
+  /// LoadIndexSnapshot) after.
   static Result<std::unique_ptr<Collection>> Restore(CollectionOptions opts,
                                                      const std::string& path);
+
+  // ----------------------------------------------------- recovery plumbing
+  /// Replays a WAL on top of the current state, tolerating records whose
+  /// effects a checkpoint already absorbed (duplicate inserts, deletes of
+  /// absent ids). Reports applied records and the valid byte prefix so the
+  /// caller can truncate a torn tail (both out-params may be null).
+  Status ReplayWalFile(const std::string& path, std::size_t* applied = nullptr,
+                       std::size_t* valid_bytes = nullptr);
+  /// Opens `path` for appending and routes future mutations to it (the
+  /// WAL-rotation half of a checkpoint).
+  Status AttachWal(const std::string& path);
+  /// fsyncs the attached WAL; acknowledged writes survive any crash after
+  /// this returns. No-op without a WAL.
+  Status SyncWal();
+  /// Serializes the monolithic search index (HNSW / IVF-Flat / IVF-PQ) to
+  /// a CRC-guarded snapshot. Unsupported when there is no index, the index
+  /// type has no serializer, or the index is not clean (unindexed delta
+  /// rows or tombstones) — callers fall back to BuildIndex on recovery.
+  Status SaveIndexSnapshot(const std::string& path) const;
+  /// Installs an index snapshot saved by `SaveIndexSnapshot`. Must be
+  /// called on a collection restored from the *matching* checkpoint,
+  /// before any WAL replay, so the snapshot covers exactly the live rows.
+  Status LoadIndexSnapshot(const std::string& path);
 
   // ------------------------------------------------------------ queries
   Status Knn(VectorView query, std::size_t k, std::vector<Neighbor>* out,

@@ -1,13 +1,19 @@
 #ifndef VDB_STORAGE_SERIALIZER_H_
 #define VDB_STORAGE_SERIALIZER_H_
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/distance.h"
+#include "core/failpoint.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "storage/wal.h"
@@ -51,18 +57,60 @@ class BinaryWriter {
     Bytes(v.data(), v.size() * sizeof(std::uint64_t));
   }
 
+  /// Atomic, durable install: the full container goes to `<path>.tmp`,
+  /// is fsynced, then renamed over `path` and the parent directory is
+  /// fsynced. A crash at any point leaves either the old file or the new
+  /// one — never a torn `path` (a naive in-place truncate-and-write would
+  /// destroy the previous good checkpoint on a mid-write crash).
   Status WriteTo(const std::string& path) const {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("open for write: " + path);
-    out.write(reinterpret_cast<const char*>(bytes_.data()),
-              static_cast<std::streamsize>(bytes_.size()));
     // Payload CRC excludes the magic prefix (first 4 bytes).
     std::uint32_t crc = Wal::Crc32(bytes_.data() + 4, bytes_.size() - 4);
-    char tail[4];
-    for (int i = 0; i < 4; ++i) tail[i] = (crc >> (8 * i)) & 0xff;
-    out.write(tail, 4);
-    if (!out) return Status::IoError("write failed: " + path);
-    return Status::Ok();
+    std::vector<std::uint8_t> full = bytes_;
+    for (int i = 0; i < 4; ++i) full.push_back((crc >> (8 * i)) & 0xff);
+
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+      return Status::IoError("open for write: " + tmp + ": " +
+                             std::strerror(errno));
+    }
+    std::size_t done = 0;
+    while (done < full.size()) {
+      ssize_t put = ::write(fd, full.data() + done, full.size() - done);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        Status st = Status::IoError("write failed: " + tmp + ": " +
+                                    std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return st;
+      }
+      if (put == 0) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return Status::IoError("write returned 0 bytes: " + tmp);
+      }
+      done += static_cast<std::size_t>(put);
+    }
+    while (::fsync(fd) != 0) {
+      if (errno == EINTR) continue;
+      Status st =
+          Status::IoError("fsync failed: " + tmp + ": " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    ::close(fd);
+    FailpointCrashSite("crash.serializer.tmp_written");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      Status st = Status::IoError("rename " + tmp + " -> " + path + ": " +
+                                  std::strerror(errno));
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    FailpointCrashSite("crash.serializer.renamed");
+    return Wal::SyncDirOf(path);
   }
 
  private:

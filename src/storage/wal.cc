@@ -39,25 +39,6 @@ Status WriteFully(int fd, const std::uint8_t* data, std::size_t len) {
   return Status::Ok();
 }
 
-/// fsync the directory containing `path` so a freshly created file's
-/// directory entry itself is durable (the classic create-then-crash
-/// durability bug: the file's data survives but its name does not).
-Status SyncParentDir(const std::string& path) {
-  std::size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
-  }
-  Status status = Status::Ok();
-  if (::fsync(fd) != 0) {
-    status = Status::IoError("fsync dir " + dir + ": " + std::strerror(errno));
-  }
-  ::close(fd);
-  return status;
-}
-
 void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
   out->push_back(v & 0xff);
   out->push_back((v >> 8) & 0xff);
@@ -108,6 +89,25 @@ class Reader {
 
 }  // namespace
 
+// fsync the directory containing `path` so a freshly created (or renamed)
+// file's directory entry itself is durable — the classic create-then-crash
+// durability bug: the file's data survives but its name does not.
+Status Wal::SyncDirOf(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  Status status = Status::Ok();
+  if (::fsync(fd) != 0) {
+    status = Status::IoError("fsync dir " + dir + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  return status;
+}
+
 std::uint32_t Wal::Crc32(const std::uint8_t* data, std::size_t len) {
   static const auto table = [] {
     std::array<std::uint32_t, 256> t{};
@@ -141,7 +141,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path) {
   if (!existed) {
     // Make the new log file's directory entry durable before anyone
     // trusts appends to it.
-    Status dir_sync = SyncParentDir(path);
+    Status dir_sync = SyncDirOf(path);
     if (!dir_sync.ok()) {
       ::close(fd);
       return dir_sync;
@@ -184,7 +184,14 @@ Status Wal::AppendRecord(std::uint8_t type,
     failures.Inc();
     return Status::IoError("injected failure: wal.append.short_write");
   }
+  if (FailpointFires("crash.wal.append.torn")) {
+    // The real thing: die with half a frame on disk (torture harness).
+    (void)WriteFully(fd_, frame.data(), frame.size() / 2);
+    ::_exit(2);
+  }
   Status status = WriteFully(fd_, frame.data(), frame.size());
+  // Frame fully written but the caller never sees the ack.
+  FailpointCrashSite("crash.wal.append.full");
   if (!status.ok()) failures.Inc();
   return status;
 }
@@ -245,12 +252,14 @@ Status Wal::Sync() {
     failures.Inc();
     return Status::IoError(ErrnoText("wal fsync"));
   }
+  FailpointCrashSite("crash.wal.synced");
   return Status::Ok();
 }
 
 Status Wal::Replay(const std::string& path, Visitor* visitor,
-                   std::size_t* applied) {
+                   std::size_t* applied, std::size_t* valid_bytes) {
   if (applied != nullptr) *applied = 0;
+  if (valid_bytes != nullptr) *valid_bytes = 0;
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) return Status::Ok();  // nothing logged yet
@@ -333,17 +342,46 @@ Status Wal::Replay(const std::string& path, Visitor* visitor,
         }
       }
       if (!ok) break;
-      visitor->OnInsert(id, vec, attrs);
+      if (visitor != nullptr) visitor->OnInsert(id, vec, attrs);
     } else if (type == kDeleteRecord) {
       std::uint64_t id;
       if (!rec.U64(&id)) break;
-      visitor->OnDelete(id);
+      if (visitor != nullptr) visitor->OnDelete(id);
     } else {
       break;  // unknown record type: treat as corruption
     }
     if (applied != nullptr) ++(*applied);
+    if (valid_bytes != nullptr) *valid_bytes = file.at();
   }
   return Status::Ok();
+}
+
+Status Wal::TruncateTo(const std::string& path, std::size_t valid_bytes) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::Ok();  // nothing to truncate
+    return Status::IoError(ErrnoText("wal stat"));
+  }
+  if (static_cast<std::size_t>(st.st_size) <= valid_bytes) {
+    return Status::Ok();  // tail is clean
+  }
+  static Counter& torn = Registry::Global().GetCounter(
+      "vdb_recovery_torn_bytes_truncated_total");
+  torn.Inc(static_cast<std::size_t>(st.st_size) - valid_bytes);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(ErrnoText("wal open for truncate"));
+  Status status = Status::Ok();
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    status = Status::IoError(ErrnoText("wal ftruncate"));
+  } else {
+    while (::fsync(fd) != 0) {
+      if (errno == EINTR) continue;
+      status = Status::IoError(ErrnoText("wal fsync after truncate"));
+      break;
+    }
+  }
+  ::close(fd);
+  return status;
 }
 
 }  // namespace vdb

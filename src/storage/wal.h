@@ -41,9 +41,21 @@ class Wal {
   Status Sync();
 
   /// Replays `path`, stopping at the first corrupt record; reports how many
-  /// records were applied via `applied` (may be null).
+  /// records were applied via `applied` and the byte offset of the end of
+  /// the last valid record via `valid_bytes` (either may be null). A null
+  /// `visitor` walks the log without applying it (the scrubber's CRC pass).
   static Status Replay(const std::string& path, Visitor* visitor,
-                       std::size_t* applied = nullptr);
+                       std::size_t* applied = nullptr,
+                       std::size_t* valid_bytes = nullptr);
+
+  /// Truncates `path` to `valid_bytes` and fsyncs it — run after Replay
+  /// stopped at a torn tail, *before* reopening for append, so new records
+  /// never land after garbage (where the next replay could not reach them).
+  static Status TruncateTo(const std::string& path, std::size_t valid_bytes);
+
+  /// fsyncs the directory containing `path` (durability of the directory
+  /// entry itself — create/rename is not durable until the parent is).
+  static Status SyncDirOf(const std::string& path);
 
   /// CRC32 (polynomial 0xEDB88320) of a byte buffer — exposed for tests.
   static std::uint32_t Crc32(const std::uint8_t* data, std::size_t len);
