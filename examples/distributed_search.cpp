@@ -16,6 +16,8 @@
 #include "db/distributed.h"
 #include "index/hnsw.h"
 
+#include "example_util.h"
+
 int main() {
   using namespace vdb;
   using Clock = std::chrono::steady_clock;
@@ -52,12 +54,12 @@ int main() {
       return 1;
     }
     if (policy == ShardingPolicy::kIndexGuided) {
-      (*sharded)->TrainRouter(data);
+      OrDie((*sharded)->TrainRouter(data));
     }
     for (std::size_t i = 0; i < data.rows(); ++i) {
-      (*sharded)->Insert(i, data.row_view(i));
+      OrDie((*sharded)->Insert(i, data.row_view(i)));
     }
-    (*sharded)->BuildIndexes();
+    OrDie((*sharded)->BuildIndexes());
 
     const char* name =
         policy == ShardingPolicy::kHash ? "hash" : "index-guided";
@@ -68,7 +70,7 @@ int main() {
     std::vector<std::vector<Neighbor>> results(queries.rows());
     auto start = Clock::now();
     for (std::size_t q = 0; q < queries.rows(); ++q) {
-      (*sharded)->Knn(queries.row_view(q), 10, &results[q]);
+      OrDie((*sharded)->Knn(queries.row_view(q), 10, &results[q]));
     }
     double ms = std::chrono::duration<double, std::milli>(Clock::now() -
                                                           start)
@@ -80,8 +82,8 @@ int main() {
     if (policy == ShardingPolicy::kIndexGuided) {
       start = Clock::now();
       for (std::size_t q = 0; q < queries.rows(); ++q) {
-        (*sharded)->Knn(queries.row_view(q), 10, &results[q], nullptr, true,
-                        false, /*shards_to_probe=*/1);
+        OrDie((*sharded)->Knn(queries.row_view(q), 10, &results[q], nullptr,
+                              true, false, /*shards_to_probe=*/1));
       }
       ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
                .count();
@@ -94,14 +96,14 @@ int main() {
     std::printf("  pending replica ops before sync: %zu\n",
                 (*sharded)->PendingReplicaOps());
     std::vector<Neighbor> replica_hits;
-    (*sharded)->Knn(queries.row_view(0), 10, &replica_hits, nullptr, true,
-                    /*read_replicas=*/true);
+    OrDie((*sharded)->Knn(queries.row_view(0), 10, &replica_hits, nullptr,
+                          true, /*read_replicas=*/true));
     std::printf("  replica read before sync: %zu results (stale)\n",
                 replica_hits.size());
-    (*sharded)->SyncReplicas();
-    (*sharded)->BuildIndexes();
-    (*sharded)->Knn(queries.row_view(0), 10, &replica_hits, nullptr, true,
-                    true);
+    OrDie((*sharded)->SyncReplicas());
+    OrDie((*sharded)->BuildIndexes());
+    OrDie((*sharded)->Knn(queries.row_view(0), 10, &replica_hits, nullptr,
+                          true, true));
     std::printf("  replica read after sync : %zu results\n",
                 replica_hits.size());
   }

@@ -14,6 +14,8 @@
 #include "db/collection.h"
 #include "index/hnsw.h"
 
+#include "example_util.h"
+
 int main() {
   using namespace vdb;
   std::string dir = "/tmp/vdb_durability_" + std::to_string(::getpid());
@@ -42,14 +44,26 @@ int main() {
     }
     auto& c = **session;
     for (std::size_t i = 0; i < 3000; ++i) {
-      c.Insert(i, data.row_view(i), {{"shard_hint", std::int64_t(i % 4)}});
+      OrDie(c.Insert(i, data.row_view(i),
+                     {{"shard_hint", std::int64_t(i % 4)}}));
     }
-    c.Checkpoint(snapshot);
+    OrDie(c.Checkpoint(snapshot));
     std::printf("session 1: 3000 rows inserted, checkpoint written\n");
+    // This loop is the fault-injection target (arm wal.append.fail via
+    // VDB_FAILPOINTS and session 2 restores exactly that many fewer
+    // rows), so injected failures are tolerated, not fatal.
+    std::size_t dropped = 0;
     for (std::size_t i = 3000; i < 5000; ++i) {
-      c.Insert(i, data.row_view(i), {{"shard_hint", std::int64_t(i % 4)}});
+      if (!c.Insert(i, data.row_view(i), {{"shard_hint", std::int64_t(i % 4)}})
+               .ok()) {
+        ++dropped;
+      }
     }
-    c.Delete(17);
+    if (dropped > 0) {
+      std::printf("session 1: %zu inserts failed (injected faults)\n",
+                  dropped);
+    }
+    OrDie(c.Delete(17));
     std::printf("session 1: 2000 more rows + 1 delete land in the WAL only; "
                 "process exits without any shutdown step (simulated crash)\n");
   }
@@ -65,12 +79,12 @@ int main() {
     auto& c = **recovered;
     std::printf("\nsession 2: restored %zu rows (checkpoint + WAL replay)\n",
                 c.Size());
-    c.BuildIndex();
+    OrDie(c.BuildIndex());
     std::vector<Neighbor> out;
-    c.Knn(data.row_view(4321), 1, &out);
+    OrDie(c.Knn(data.row_view(4321), 1, &out));
     std::printf("session 2: WAL-only row 4321 found -> id=%llu\n",
                 (unsigned long long)out[0].id);
-    c.Knn(data.row_view(17), 1, &out);
+    OrDie(c.Knn(data.row_view(17), 1, &out));
     std::printf("session 2: deleted row 17 stays deleted -> nearest is "
                 "id=%llu\n",
                 (unsigned long long)out[0].id);
@@ -79,8 +93,8 @@ int main() {
   // --- Index persistence: build once, reload instantly. ----------------
   {
     HnswIndex index;
-    index.Build(data, {});
-    index.Save(index_file);
+    OrDie(index.Build(data, {}));
+    OrDie(index.Save(index_file));
     auto loaded = HnswIndex::Load(index_file);
     std::printf("\nindex persistence: saved + reloaded HNSW, %zu vectors, "
                 "status=%s\n",
@@ -114,10 +128,10 @@ int main() {
     lsm.lsm_memtable_limit = 512;
     auto c = Collection::Create(lsm);
     for (std::size_t i = 0; i < 5000; ++i) {
-      (*c)->Insert(i, data.row_view(i));
+      OrDie((*c)->Insert(i, data.row_view(i)));
     }
     std::vector<Neighbor> out;
-    (*c)->Knn(data.row_view(4999), 1, &out);
+    OrDie((*c)->Knn(data.row_view(4999), 1, &out));
     std::printf("\nlsm mode: 5000 streamed inserts, last row immediately "
                 "searchable -> id=%llu\n",
                 (unsigned long long)out[0].id);

@@ -16,6 +16,8 @@
 #include "db/embedder.h"
 #include "index/hnsw.h"
 
+#include "example_util.h"
+
 namespace {
 
 struct Product {
@@ -85,7 +87,7 @@ int main() {
       return 1;
     }
   }
-  catalog.BuildIndex();
+  OrDie(catalog.BuildIndex());
   std::printf("catalog: %zu products embedded in-database\n", catalog.Size());
 
   auto show = [&](const char* label, const std::vector<Neighbor>& hits) {
@@ -101,7 +103,7 @@ int main() {
   // 1. Pure semantic search.
   auto query_vec = embedder->Embed("shoes for trail runs");
   std::vector<Neighbor> hits;
-  catalog.Knn(query_vec, 3, &hits);
+  OrDie(catalog.Knn(query_vec, 3, &hits));
   show("semantic: 'shoes for trail runs'", hits);
 
   // 2. Hybrid: same query, but in stock and under $100.
@@ -110,7 +112,7 @@ int main() {
       Predicate::Cmp("price", CmpOp::kLe, 100.0));
   auto plan = catalog.ExplainHybrid(pred);
   ExecStats stats;
-  catalog.Hybrid(query_vec, pred, 3, &hits, &stats);
+  OrDie(catalog.Hybrid(query_vec, pred, 3, &hits, &stats));
   std::printf("\noptimizer plan for '%s': %s", pred.ToString().c_str(),
               plan.ok() ? plan->ToString().c_str() : "<error>");
   show("hybrid: in stock AND price <= 100", hits);
@@ -120,8 +122,8 @@ int main() {
   //    fewer than k results; for e-commerce that is acceptable).
   auto brand_pred = Predicate::Cmp("brand", CmpOp::kEq, std::string("acme"));
   HybridPlan predefined{PlanKind::kPostFilterIndexScan, 2.0f};
-  catalog.Hybrid(embedder->Embed("running gear"), brand_pred, 5, &hits,
-                 nullptr, &predefined);
+  OrDie(catalog.Hybrid(embedder->Embed("running gear"), brand_pred, 5,
+                       &hits, nullptr, &predefined));
   std::printf("\npredefined post-filter plan returned %zu of 5 requested "
               "(deficit is expected behaviour)", hits.size());
   show("acme-only: 'running gear' (post-filtered)", hits);

@@ -16,6 +16,8 @@
 #include "db/query_language.h"
 #include "index/hnsw.h"
 
+#include "example_util.h"
+
 int main() {
   using namespace vdb;
 
@@ -56,7 +58,7 @@ int main() {
       return 1;
     }
   }
-  products.BuildIndex();
+  OrDie(products.BuildIndex());
   std::printf("collection ready: %zu vectors, index built\n",
               products.Size());
 
@@ -66,7 +68,7 @@ int main() {
   // 3. Plain k-NN.
   std::vector<Neighbor> results;
   SearchStats stats;
-  products.Knn(query, 5, &results, &stats);
+  OrDie(products.Knn(query, 5, &results, &stats));
   std::printf("\nk-NN top-5 (%llu distance computations):\n",
               (unsigned long long)stats.distance_comps);
   for (const auto& hit : results) {
@@ -76,7 +78,7 @@ int main() {
 
   // 4. Range query: everything within a radius.
   std::vector<Neighbor> in_range;
-  products.RangeSearch(query, results[2].dist, &in_range);
+  OrDie(products.RangeSearch(query, results[2].dist, &in_range));
   std::printf("\nrange query (r=%.4f): %zu results\n", results[2].dist,
               in_range.size());
 
@@ -95,7 +97,7 @@ int main() {
   auto plan = products.ExplainHybrid(pred);
   std::vector<Neighbor> hybrid;
   ExecStats exec_stats;
-  products.Hybrid(query, pred, 5, &hybrid, &exec_stats);
+  OrDie(products.Hybrid(query, pred, 5, &hybrid, &exec_stats));
   std::printf(
       "\nhybrid query %s\n  optimizer chose: %s (est. selectivity %.4f)\n",
       pred.ToString().c_str(),
@@ -112,11 +114,11 @@ int main() {
     CollectionOptions small = options;
     auto* items = db.CreateCollection("items", small).value();
     for (std::size_t i = 0; i < 500; ++i) {
-      items->Insert(i, data.row_view(i),
-                    {{"category", std::int64_t(i % 10)},
-                     {"price", double(i % 500)}});
+      OrDie(items->Insert(i, data.row_view(i),
+                          {{"category", std::int64_t(i % 10)},
+                           {"price", double(i % 500)}}));
     }
-    items->BuildIndex();
+    OrDie(items->BuildIndex());
     std::string vec = "[";
     for (std::size_t j = 0; j < 32; ++j) {
       if (j) vec += ", ";

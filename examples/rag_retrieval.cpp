@@ -16,6 +16,8 @@
 #include "db/embedder.h"
 #include "index/hnsw.h"
 
+#include "example_util.h"
+
 namespace {
 
 struct Doc {
@@ -122,8 +124,8 @@ int main() {
     auto v1 = embedder->Embed("billion scale search with ssd posting lists");
     std::copy(v0.begin(), v0.end(), chunks.row(0));
     std::copy(v1.begin(), v1.end(), chunks.row(1));
-    corpus.InsertEntity(100, chunks,
-                        {{"title", std::string("Disk-based ANN notes")}});
+    OrDie(corpus.InsertEntity(
+        100, chunks, {{"title", std::string("Disk-based ANN notes")}}));
   }
   ask("disk resident vector indexes for billion scale search");
 

@@ -27,6 +27,8 @@
 #include "db/scrubber.h"
 #include "index/hnsw.h"
 
+#include "example_util.h"
+
 namespace {
 
 std::string VectorLiteral(const vdb::FloatMatrix& data, std::size_t row) {
@@ -63,12 +65,12 @@ int main() {
   FloatMatrix data = GaussianClusters({1000, 8, 21, 16, 0.15f});
   const char* brands[] = {"acme", "velo", "forge", "zen"};
   for (std::size_t i = 0; i < data.rows(); ++i) {
-    products.Insert(i, data.row_view(i),
-                    {{"category", std::int64_t(i % 5)},
-                     {"price", double(i % 200)},
-                     {"brand", std::string(brands[i % 4])}});
+    OrDie(products.Insert(i, data.row_view(i),
+                          {{"category", std::int64_t(i % 5)},
+                           {"price", double(i % 200)},
+                           {"brand", std::string(brands[i % 4])}}));
   }
-  products.BuildIndex();
+  OrDie(products.BuildIndex());
   std::printf("vdbsh — %zu products loaded. One query per line; Ctrl-D "
               "exits.\n",
               products.Size());

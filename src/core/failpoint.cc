@@ -34,7 +34,9 @@ bool ParseProb(std::string_view s, double* out) {
   try {
     std::size_t used = 0;
     double v = std::stod(std::string(s), &used);
-    if (used != s.size() || v < 0.0 || v > 1.0) return false;
+    // !(v >= 0 && v <= 1) rather than (v < 0 || v > 1): NaN compares
+    // false both ways, so the naive form would accept "prob:nan".
+    if (used != s.size() || !(v >= 0.0 && v <= 1.0)) return false;
     *out = v;
     return true;
   } catch (...) {
@@ -112,7 +114,7 @@ Failpoints& Failpoints::Instance() {
 
 Failpoints::Failpoints() : impl_(new Impl) {
   if (const char* env = std::getenv("VDB_FAILPOINTS")) {
-    ArmFromString(env);  // malformed entries are skipped, not fatal
+    (void)ArmFromString(env);  // malformed entries are skipped, not fatal
   }
 }
 

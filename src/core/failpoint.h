@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -106,9 +108,16 @@ class ScopedFailpoint {
       : name_(std::move(name)) {
     Failpoints::Instance().Arm(name_, spec);
   }
+  /// Aborts on a malformed spec: a typo here would otherwise silently
+  /// leave the failpoint disarmed and the test vacuously green.
   ScopedFailpoint(std::string name, std::string_view spec_text)
       : name_(std::move(name)) {
-    Failpoints::Instance().Arm(name_, spec_text);
+    Status st = Failpoints::Instance().Arm(name_, spec_text);
+    if (!st.ok()) {
+      std::fprintf(stderr, "ScopedFailpoint(%s): %s\n", name_.c_str(),
+                   st.ToString().c_str());
+      std::abort();
+    }
   }
   ~ScopedFailpoint() { Failpoints::Instance().Disarm(name_); }
   ScopedFailpoint(const ScopedFailpoint&) = delete;

@@ -50,7 +50,10 @@ float AdcLookupScalar(const float* tables, const unsigned char* codes,
 
 namespace {
 
-inline float HorizontalSum(__m256 v) {
+// target("avx2") rather than relying on the translation unit's -march:
+// with VDB_NATIVE_ARCH=OFF the base ISA has no AVX, and GCC refuses to
+// inline the always_inline intrinsics into an un-targeted function.
+__attribute__((target("avx2"))) inline float HorizontalSum(__m256 v) {
   __m128 lo = _mm256_castps256_ps128(v);
   __m128 hi = _mm256_extractf128_ps(v, 1);
   lo = _mm_add_ps(lo, hi);

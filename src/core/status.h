@@ -25,7 +25,12 @@ enum class StatusCode {
 };
 
 /// Lightweight success/error carrier. Cheap to copy when OK (no message).
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a swallowed failure, so every
+/// function returning one must have its result checked (or explicitly
+/// voided with a reason — grep for `(void)` casts). Enforced as an error
+/// under the default-on `VDB_WERROR` build option.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -97,9 +102,10 @@ class Status {
 };
 
 /// Value-or-error. `value()` asserts the result is OK; check `ok()` (or
-/// `status()`) first on fallible paths.
+/// `status()`) first on fallible paths. `[[nodiscard]]` like Status: a
+/// dropped Result hides both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {                 // NOLINT

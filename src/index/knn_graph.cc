@@ -111,7 +111,9 @@ void KnnGraphIndex::InitFromKdForest() {
   sp.max_leaf_visits = static_cast<int>(kd.num_trees);
   for (std::uint32_t i = 0; i < TotalRows(); ++i) {
     std::vector<Neighbor> near;
-    forest.Search(vector(i), sp, &near);
+    // Best-effort seeding: a node whose probe fails keeps its (empty)
+    // list and is filled in by the NN-descent iterations instead.
+    if (!forest.Search(vector(i), sp, &near).ok()) continue;
     for (const auto& nb : near) {
       auto cand = static_cast<std::uint32_t>(nb.id);
       if (cand == i) continue;

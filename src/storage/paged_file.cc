@@ -115,6 +115,7 @@ void PagedFile::CacheInsert(std::uint64_t page_id, const std::uint8_t* buf) {
 }
 
 Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= num_pages_) {
     return Status::OutOfRange("page beyond end of file");
   }
@@ -158,6 +159,12 @@ Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
 }
 
 Status PagedFile::WritePage(std::uint64_t page_id, const std::uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageLocked(page_id, buf);
+}
+
+Status PagedFile::WritePageLocked(std::uint64_t page_id,
+                                  const std::uint8_t* buf) {
   if (FailpointFires("paged_file.write.fail")) {
     return Status::IoError("injected failure: paged_file.write.fail");
   }
@@ -187,8 +194,9 @@ Status PagedFile::Sync() {
 }
 
 Result<std::uint64_t> PagedFile::AppendPage(const std::uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t page_id = num_pages_;
-  VDB_RETURN_IF_ERROR(WritePage(page_id, buf));
+  VDB_RETURN_IF_ERROR(WritePageLocked(page_id, buf));
   return page_id;
 }
 

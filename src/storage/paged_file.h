@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,12 @@ struct PagedFileOptions {
 /// (paper §2.2: DiskANN, SPANN). All I/O is counted, making experiment
 /// E11's page-reads-per-query metric hardware-independent. Supports read
 /// fault injection for failure testing.
+///
+/// Thread-safe: the disk indexes hold a PagedFile `mutable` and read
+/// pages during const Search, so concurrent readers (ConcurrentCollection
+/// shared-lock queries, scatter-gather workers) share the LRU cache and
+/// counters. One mutex guards all of it (DESIGN.md §9); positioned
+/// pread/pwrite needs no seek serialization of its own.
 class PagedFile {
  public:
   /// Creates (truncating) a paged file at `path`.
@@ -51,13 +58,26 @@ class PagedFile {
   Status Sync();
 
   std::size_t page_size() const { return opts_.page_size; }
-  std::uint64_t num_pages() const { return num_pages_; }
+  std::uint64_t num_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_pages_;
+  }
 
   /// Physical page reads (cache misses).
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t writes() const { return writes_; }
-  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_;
+  }
+  std::uint64_t writes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_;
+  }
+  std::uint64_t cache_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_hits_;
+  }
   void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
     reads_ = 0;
     writes_ = 0;
     cache_hits_ = 0;
@@ -65,7 +85,10 @@ class PagedFile {
 
   /// Failure injection: the next physical read after `count` more reads
   /// fails with IoError. Negative disables.
-  void InjectReadFaultAfter(std::int64_t count) { fault_after_ = count; }
+  void InjectReadFaultAfter(std::int64_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_after_ = count;
+  }
 
  private:
   PagedFile(int fd, const PagedFileOptions& opts, std::uint64_t num_pages)
@@ -74,11 +97,17 @@ class PagedFile {
   static Result<std::unique_ptr<PagedFile>> OpenImpl(
       const std::string& path, const PagedFileOptions& opts, bool truncate);
 
+  /// Callers hold mu_.
   bool CacheLookup(std::uint64_t page_id, std::uint8_t* buf);
   void CacheInsert(std::uint64_t page_id, const std::uint8_t* buf);
+  Status WritePageLocked(std::uint64_t page_id, const std::uint8_t* buf);
 
   int fd_;
   PagedFileOptions opts_;
+
+  /// Guards every member below (LRU cache, counters, page count): the
+  /// read path mutates the cache, so "read-only" users still need it.
+  mutable std::mutex mu_;
   std::uint64_t num_pages_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

@@ -144,7 +144,7 @@ class BinaryReader {
   }
 
   Result<std::uint8_t> U8() {
-    std::uint8_t v;
+    std::uint8_t v = 0;
     VDB_RETURN_IF_ERROR(Take(&v, 1));
     return v;
   }

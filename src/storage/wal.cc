@@ -286,7 +286,7 @@ Status Wal::Replay(const std::string& path, Visitor* visitor,
     crc_input.insert(crc_input.end(), body, body + body_len);
     std::vector<std::uint8_t> skip(body_len);
     file.Bytes(skip.data(), body_len);
-    std::uint32_t stored_crc;
+    std::uint32_t stored_crc = 0;
     file.U32(&stored_crc);
     if (Crc32(crc_input.data(), crc_input.size()) != stored_crc) break;
 

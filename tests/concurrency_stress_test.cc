@@ -1,0 +1,416 @@
+// Concurrency stress suite — the ThreadSanitizer tier (DESIGN.md §9).
+//
+// Each test hammers one real shared-state surface of the system with
+// enough threads and iterations that TSan (cmake -B build-tsan
+// -DVDB_SANITIZE=thread; ctest -L stress) sees every lock/atomic pairing,
+// while staying small enough to finish in seconds on one core at TSan's
+// ~10x slowdown. Functional assertions are deliberately weak (counts,
+// statuses) — the sanitizer is the oracle here; the functional suites own
+// behavioral coverage.
+//
+// VDB_STRESS_SCALE (default 1) multiplies iteration counts for longer
+// local soaks.
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "core/synthetic.h"
+#include "core/telemetry.h"
+#include "db/concurrent.h"
+#include "db/distributed.h"
+#include "index/diskann.h"
+#include "index/hnsw.h"
+
+namespace vdb {
+namespace {
+
+std::size_t StressScale() {
+  if (const char* env = std::getenv("VDB_STRESS_SCALE")) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  // At scale 1 the registry/failpoint churn suites finish in under a
+  // millisecond — threads barely overlap and the race detector sees few
+  // interleavings. 4 keeps the native run under a second while giving
+  // every suite real contention; raise via VDB_STRESS_SCALE for soaks.
+  return 4;
+}
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/vdb_stress_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+IndexFactory HnswFactory() {
+  return [] {
+    HnswOptions o;
+    o.m = 8;
+    o.ef_construction = 32;
+    return std::make_unique<HnswIndex>(o);
+  };
+}
+
+FloatMatrix TestData(std::size_t n, std::size_t dim, std::uint64_t seed = 7) {
+  SyntheticOptions opts;
+  opts.n = n;
+  opts.dim = dim;
+  opts.num_clusters = 4;
+  opts.seed = seed;
+  return GaussianClusters(opts);
+}
+
+/// Launches `n` copies of `fn(thread_index)` and joins them all.
+template <typename Fn>
+void RunThreads(std::size_t n, Fn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) threads.emplace_back(fn, t);
+  for (auto& th : threads) th.join();
+}
+
+// ------------------------------------------------- ConcurrentCollection
+
+// Writers insert/upsert/delete and rebuild the index while readers run
+// knn/range/hybrid — the shared_mutex facade must serialize mutation
+// against every query path.
+TEST(ConcurrencyStressTest, CollectionInsertSearchChurn) {
+  const std::size_t kDim = 16;
+  const std::size_t kWriters = 2, kReaders = 4;
+  const std::size_t kOps = 150 * StressScale();
+
+  CollectionOptions opts;
+  opts.dim = kDim;
+  opts.attributes = {{"category", AttrType::kInt64}};
+  opts.index_factory = HnswFactory();
+  auto created = ConcurrentCollection::Create(opts);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<ConcurrentCollection> coll = std::move(created).value();
+
+  FloatMatrix seedrows = TestData(64, kDim);
+  for (std::size_t i = 0; i < seedrows.rows(); ++i) {
+    ASSERT_TRUE(coll->Insert(static_cast<VectorId>(i),
+                             {seedrows.row(i), kDim},
+                             {{"category", std::int64_t(i % 4)}})
+                    .ok());
+  }
+  ASSERT_TRUE(coll->BuildIndex().ok());
+
+  FloatMatrix pool = TestData(256, kDim, /*seed=*/11);
+  std::atomic<std::size_t> insert_failures{0};
+
+  RunThreads(kWriters + kReaders + 1, [&](std::size_t t) {
+    if (t < kWriters) {  // writer: insert / upsert / delete cycles
+      for (std::size_t i = 0; i < kOps; ++i) {
+        VectorId id = static_cast<VectorId>(1000 + t * kOps + i);
+        std::size_t row = (t * kOps + i) % pool.rows();
+        if (!coll->Insert(id, {pool.row(row), kDim},
+                          {{"category", std::int64_t(i % 4)}})
+                 .ok()) {
+          insert_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 3 == 0) {
+          (void)coll->Upsert(id, {pool.row((row + 1) % pool.rows()), kDim},
+                             {{"category", std::int64_t(i % 4)}});
+        }
+        if (i % 5 == 0) (void)coll->Delete(id);
+      }
+    } else if (t < kWriters + kReaders) {  // reader: knn + hybrid
+      Predicate pred =
+          Predicate::Cmp("category", CmpOp::kEq, AttrValue(std::int64_t(1)));
+      for (std::size_t i = 0; i < kOps; ++i) {
+        std::vector<Neighbor> out;
+        SearchStats stats;
+        EXPECT_TRUE(
+            coll->Knn({pool.row(i % pool.rows()), kDim}, 5, &out, &stats)
+                .ok());
+        if (i % 4 == 0) {
+          std::vector<Neighbor> hout;
+          EXPECT_TRUE(coll->Hybrid({pool.row(i % pool.rows()), kDim}, pred,
+                                   5, &hout)
+                          .ok());
+        }
+      }
+    } else {  // rebuilder: periodic full index builds
+      for (std::size_t i = 0; i < 5 * StressScale(); ++i) {
+        EXPECT_TRUE(coll->BuildIndex().ok());
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  EXPECT_EQ(insert_failures.load(), 0u);
+  EXPECT_GT(coll->Size(), 64u);
+}
+
+// Checkpoint (shared lock, consistent read) racing writers and readers:
+// the snapshot path walks every store while mutation is in flight.
+TEST(ConcurrencyStressTest, CheckpointVsWriters) {
+  const std::size_t kDim = 8;
+  CollectionOptions opts;
+  opts.dim = kDim;
+  opts.index_factory = HnswFactory();
+  auto created = ConcurrentCollection::Create(opts);
+  ASSERT_TRUE(created.ok());
+  std::unique_ptr<ConcurrentCollection> coll = std::move(created).value();
+
+  FloatMatrix pool = TestData(128, kDim);
+  const std::size_t kOps = 100 * StressScale();
+
+  RunThreads(4, [&](std::size_t t) {
+    if (t == 0) {  // checkpointer
+      for (std::size_t i = 0; i < 8 * StressScale(); ++i) {
+        std::string path = TempPath("ckpt_" + std::to_string(i));
+        EXPECT_TRUE(coll->Checkpoint(path).ok());
+        std::remove(path.c_str());
+      }
+    } else if (t == 1) {  // writer
+      for (std::size_t i = 0; i < kOps; ++i) {
+        (void)coll->Insert(static_cast<VectorId>(i),
+                           {pool.row(i % pool.rows()), kDim});
+      }
+    } else {  // readers
+      for (std::size_t i = 0; i < kOps; ++i) {
+        std::vector<Neighbor> out;
+        (void)coll->Knn({pool.row(i % pool.rows()), kDim}, 3, &out);
+      }
+    }
+  });
+}
+
+// --------------------------------------------------- ShardedCollection
+
+struct ShardedFixture {
+  std::unique_ptr<ShardedCollection> sharded;
+  FloatMatrix pool;
+
+  explicit ShardedFixture(ShardedOptions opts, std::size_t n = 160,
+                          std::size_t dim = 8) {
+    opts.collection.dim = dim;
+    opts.collection.index_factory = HnswFactory();
+    auto created = ShardedCollection::Create(std::move(opts));
+    EXPECT_TRUE(created.ok());
+    sharded = std::move(created).value();
+    pool = TestData(n, dim);
+    for (std::size_t i = 0; i < pool.rows(); ++i) {
+      EXPECT_TRUE(
+          sharded->Insert(static_cast<VectorId>(i), {pool.row(i), dim}).ok());
+    }
+    EXPECT_TRUE(sharded->BuildIndexes().ok());
+  }
+};
+
+// Parallel scatter-gather from many query threads while a failpoint
+// randomly kills shard probes: breaker trips (CAS loops), cooldown
+// gauges, and degradation accounting all churn concurrently.
+TEST(ConcurrencyStressTest, ScatterGatherBreakerChurn) {
+  ShardedOptions opts;
+  opts.num_shards = 4;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown_probes = 3;
+  ShardedFixture fx(opts);
+
+  ScopedFailpoint fail("shard.knn.fail", "prob:0.3");
+  const std::size_t kQueries = 60 * StressScale();
+  std::atomic<std::size_t> degraded{0}, hard_failures{0};
+
+  RunThreads(4, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      std::vector<Neighbor> out;
+      SearchStats stats;
+      Status st = fx.sharded->Knn({fx.pool.row((t * kQueries + i) %
+                                               fx.pool.rows()),
+                                   fx.pool.cols()},
+                                  5, &out, &stats);
+      if (!st.ok()) {
+        hard_failures.fetch_add(1, std::memory_order_relaxed);
+      } else if (stats.partial) {
+        degraded.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (i % 16 == 0) {
+        for (std::size_t s = 0; s < fx.sharded->num_shards(); ++s) {
+          (void)fx.sharded->BreakerCooldownRemaining(s);
+          if (i % 32 == 0) fx.sharded->ResetBreaker(s);
+        }
+      }
+    }
+  });
+  // prob:0.3 over hundreds of probes must have degraded something; a
+  // totally quiet run means the failpoint never fired (test is vacuous).
+  EXPECT_GT(degraded.load() + hard_failures.load(), 0u);
+}
+
+// Deadline expiry abandons workers mid-probe; stragglers keep writing
+// into the heap-shared gather context after Knn returned and are joined
+// by the destructor while new queries still run.
+TEST(ConcurrencyStressTest, DeadlineStragglers) {
+  ShardedOptions opts;
+  opts.num_shards = 4;
+  opts.shard_deadline_ms = 2;
+  opts.breaker_threshold = 0;  // keep every shard probed despite timeouts
+  ShardedFixture fx(opts);
+
+  ScopedFailpoint delay("shard.knn.delay", "prob:0.25+delay:10");
+  const std::size_t kQueries = 30 * StressScale();
+
+  RunThreads(3, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      std::vector<Neighbor> out;
+      SearchStats stats;
+      Status st = fx.sharded->Knn({fx.pool.row((t + i) % fx.pool.rows()),
+                                   fx.pool.cols()},
+                                  5, &out, &stats);
+      // Partial results or full failure are both legal under the
+      // deadline; racing on the gather context is what TSan checks.
+      (void)st;
+    }
+  });
+  // Destructor joins any stragglers; TSan verifies the handoff.
+}
+
+// Replica round-robin reads racing primary-retry fallback.
+TEST(ConcurrencyStressTest, ReplicaReadChurn) {
+  ShardedOptions opts;
+  opts.num_shards = 2;
+  opts.replicas = 2;
+  ShardedFixture fx(opts);
+  ASSERT_TRUE(fx.sharded->SyncReplicas().ok());
+
+  ScopedFailpoint fail("shard.replica.fail", "prob:0.2");
+  const std::size_t kQueries = 60 * StressScale();
+
+  RunThreads(4, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      std::vector<Neighbor> out;
+      SearchStats stats;
+      EXPECT_TRUE(fx.sharded->Knn({fx.pool.row((t + i) % fx.pool.rows()),
+                                   fx.pool.cols()},
+                                  5, &out, &stats, /*parallel=*/true,
+                                  /*read_replicas=*/true)
+                      .ok());
+    }
+  });
+}
+
+// ------------------------------------------------------- disk substrate
+
+// Concurrent const Searches on a disk-resident index share the PagedFile
+// LRU page cache — the read path mutates it, so this is a real writer-
+// writer race unless the file locks internally.
+TEST(ConcurrencyStressTest, DiskIndexSharedPageCache) {
+  const std::size_t kDim = 8;
+  FloatMatrix data = TestData(200, kDim);
+  DiskAnnOptions opts;
+  opts.pq.m = 4;
+  DiskAnnIndex index(TempPath("diskann"), opts);
+  ASSERT_TRUE(index.Build(data, {}).ok());
+
+  SearchParams p;
+  p.k = 5;
+  p.ef = 16;
+  p.beam_width = 2;
+  const std::size_t kQueries = 40 * StressScale();
+  RunThreads(4, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      std::vector<Neighbor> out;
+      SearchStats stats;
+      EXPECT_TRUE(
+          index.Search(data.row((t * kQueries + i) % data.rows()), p, &out,
+                       &stats)
+              .ok());
+    }
+  });
+}
+
+// ------------------------------------------------------------ telemetry
+
+// Registry churn: lookups (mutex), increments (striped relaxed atomics),
+// renders and resets all interleave. Exactness under concurrency is
+// telemetry_test's job; this shakes the locking.
+TEST(ConcurrencyStressTest, TelemetryRegistryChurn) {
+  Registry reg;
+  const std::size_t kNames = 8;
+  const std::size_t kOps = 300 * StressScale();
+
+  RunThreads(6, [&](std::size_t t) {
+    if (t < 4) {  // incrementers: name churn + striped adds
+      for (std::size_t i = 0; i < kOps; ++i) {
+        std::string name =
+            "vdb_stress_total_" + std::to_string(i % kNames);
+        reg.GetCounter(name).Inc();
+        reg.GetGauge("vdb_stress_level_" + std::to_string(i % kNames))
+            .Set(static_cast<std::int64_t>(i));
+        if (i % 4 == 0) {
+          reg.GetHistogram("vdb_stress_seconds").Observe(1e-6 * double(i));
+        }
+      }
+    } else if (t == 4) {  // renderer
+      for (std::size_t i = 0; i < 20 * StressScale(); ++i) {
+        (void)reg.RenderPrometheus();
+        (void)reg.RenderJson();
+      }
+    } else {  // resetter
+      for (std::size_t i = 0; i < 10 * StressScale(); ++i) {
+        reg.Reset();
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  // Post-churn sanity: registry still coherent and usable.
+  reg.Reset();
+  reg.GetCounter("vdb_stress_total_0").Inc(3);
+  EXPECT_EQ(reg.GetCounter("vdb_stress_total_0").Value(), 3u);
+}
+
+// ------------------------------------------------------------ failpoints
+
+// Arm/disarm/fire churn across threads: the armed-count fast path is a
+// relaxed atomic read that races (benignly, by design) with the mutexed
+// registry — TSan confirms the fast path never touches unguarded state.
+TEST(ConcurrencyStressTest, FailpointArmFireChurn) {
+  auto& fps = Failpoints::Instance();
+  const std::size_t kOps = 200 * StressScale();
+  const char* kNames[] = {"stress.fp.a", "stress.fp.b", "stress.fp.c"};
+
+  RunThreads(6, [&](std::size_t t) {
+    if (t < 2) {  // armers: rotate specs, occasionally via text
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const char* name = kNames[i % 3];
+        if (i % 5 == 0) {
+          EXPECT_TRUE(fps.Arm(name, "every:2+times:4").ok());
+        } else {
+          fps.Arm(name, FailpointSpec{.probability = 0.5});
+        }
+        if (i % 7 == 0) (void)fps.Disarm(name);
+      }
+    } else if (t < 5) {  // firers: the production fast path
+      for (std::size_t i = 0; i < kOps; ++i) {
+        (void)FailpointFires(kNames[i % 3]);
+        (void)FailpointFires("stress.fp.indexed", i % 4);
+        (void)FailpointDelayMs("stress.fp.delay", i % 4);
+      }
+    } else {  // introspector
+      for (std::size_t i = 0; i < kOps / 4; ++i) {
+        (void)fps.ArmedNames();
+        (void)fps.Evaluations("stress.fp.a");
+        (void)fps.Triggers("stress.fp.b");
+        (void)Failpoints::AnyArmed();
+      }
+    }
+  });
+
+  for (const char* name : kNames) (void)fps.Disarm(name);
+  (void)fps.Disarm("stress.fp.indexed");
+  (void)fps.Disarm("stress.fp.delay");
+  EXPECT_FALSE(FailpointFires("stress.fp.a"));
+}
+
+}  // namespace
+}  // namespace vdb

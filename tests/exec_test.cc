@@ -40,6 +40,15 @@ struct HybridFixture {
   Scorer scorer;
   std::vector<std::int64_t> cluster_attr;
 
+  /// Fixture setup is fatal-on-error: a half-built fixture would fail
+  /// every test with misleading symptoms.
+  static void Must(const Status& st) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "HybridFixture: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+
   HybridFixture() {
     SyntheticOptions opts;
     opts.n = 2000;
@@ -52,25 +61,25 @@ struct HybridFixture {
     queries = PerturbedQueries(data, 20, 0.02f, 3);
     scorer = Scorer::Create(MetricSpec::L2(), 16).value();
 
-    attrs.AddColumn("cluster", AttrType::kInt64);
-    attrs.AddColumn("score", AttrType::kDouble);
-    attrs.AddColumn("tag", AttrType::kString);
+    Must(attrs.AddColumn("cluster", AttrType::kInt64));
+    Must(attrs.AddColumn("score", AttrType::kDouble));
+    Must(attrs.AddColumn("tag", AttrType::kString));
     for (std::size_t i = 0; i < data.rows(); ++i) {
-      vectors.Put(i, data.row(i));
-      attrs.PutRow(
+      Must(vectors.Put(i, data.row(i)));
+      Must(attrs.PutRow(
           i, {{"cluster", workload.cluster_attr[i]},
               {"score", workload.uniform_attr[i]},
-              {"tag", std::string(i % 3 == 0 ? "hot" : "cold")}});
+              {"tag", std::string(i % 3 == 0 ? "hot" : "cold")}}));
     }
     HnswOptions ho;
     ho.ef_construction = 64;
     index = std::make_unique<HnswIndex>(ho);
-    index->Build(data, {});
+    Must(index->Build(data, {}));
 
     IvfOptions io;
     io.nlist = 32;
     ivf = std::make_unique<IvfFlatIndex>(io);
-    ivf->Build(data, {});
+    Must(ivf->Build(data, {}));
 
     IndexFactory factory = [] {
       HnswOptions o;

@@ -1,0 +1,149 @@
+// Status/Result propagation tests — the [[nodiscard]] enforcement tier.
+//
+// core/status.h marks Status and Result<T> [[nodiscard]] (compiled as an
+// error under the default-on VDB_WERROR option), so every fallible call
+// must either check, propagate, or explicitly void its result. These
+// tests pin the carrier semantics the whole tree now leans on — error
+// text round-trips, macro propagation — and prove that paths which used
+// to swallow failures surface them.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "core/status.h"
+
+namespace vdb {
+namespace {
+
+TEST(StatusTest, OkCarriesNoMessage) {
+  Status st = Status::Ok();
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorTextRoundTripsPerCode) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad k"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT: bad k"},
+      {Status::NotFound("id 7"), StatusCode::kNotFound, "NOT_FOUND: id 7"},
+      {Status::AlreadyExists("id 7"), StatusCode::kAlreadyExists,
+       "ALREADY_EXISTS: id 7"},
+      {Status::OutOfRange("page 9"), StatusCode::kOutOfRange,
+       "OUT_OF_RANGE: page 9"},
+      {Status::Unsupported("opq"), StatusCode::kUnsupported,
+       "UNSUPPORTED: opq"},
+      {Status::Corruption("crc"), StatusCode::kCorruption, "CORRUPTION: crc"},
+      {Status::IoError("pread: EIO"), StatusCode::kIoError,
+       "IO_ERROR: pread: EIO"},
+      {Status::FailedPrecondition("train first"),
+       StatusCode::kFailedPrecondition, "FAILED_PRECONDITION: train first"},
+      {Status::Internal("bug"), StatusCode::kInternal, "INTERNAL: bug"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.ToString(), c.rendered);
+    // The original message survives untouched inside the rendering.
+    EXPECT_NE(c.status.ToString().find(c.status.message()), std::string::npos);
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeNotMessage) {
+  EXPECT_EQ(Status::IoError("a"), Status::IoError("b"));
+  EXPECT_FALSE(Status::IoError("a") == Status::Corruption("a"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, ResultCarriesValueOrStatus) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(*good, 7);
+
+  Result<int> bad(Status::NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().ToString(), "NOT_FOUND: nope");
+}
+
+TEST(StatusTest, ResultMoveExtractsValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailThrough() { return Status::Corruption("inner"); }
+
+Status Propagates() {
+  VDB_RETURN_IF_ERROR(FailThrough());
+  return Status::Internal("unreachable");
+}
+
+Result<int> HalfOf(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd");
+  return n / 2;
+}
+
+Status AssignsOrReturns(int n, int* out) {
+  VDB_ASSIGN_OR_RETURN(*out, HalfOf(n));
+  return Status::Ok();
+}
+
+TEST(StatusTest, MacrosPropagateErrors) {
+  EXPECT_EQ(Propagates().ToString(), "CORRUPTION: inner");
+  int out = 0;
+  EXPECT_TRUE(AssignsOrReturns(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = AssignsOrReturns(7, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 5);  // failed assignment leaves the target untouched
+}
+
+// ------------------- previously-ignored paths now surface failures ----
+
+// Failpoints::Arm(name, spec_text) returns a Status that ScopedFailpoint
+// used to drop on the floor: a typo'd spec silently left the failpoint
+// disarmed and the test armed with it vacuously green.
+TEST(StatusTest, FailpointArmSurfacesBadSpec) {
+  auto& fps = Failpoints::Instance();
+  Status st = fps.Arm("status_test.bad_spec", "everry:2");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The malformed spec must not have armed anything.
+  EXPECT_FALSE(FailpointFires("status_test.bad_spec"));
+
+  EXPECT_TRUE(fps.Arm("status_test.good_spec", "times:1").ok());
+  EXPECT_TRUE(FailpointFires("status_test.good_spec"));
+  EXPECT_TRUE(fps.Disarm("status_test.good_spec"));
+}
+
+TEST(StatusTest, ArmFromStringReportsFirstErrorButArmsRest) {
+  auto& fps = Failpoints::Instance();
+  Status st = fps.ArmFromString(
+      "status_test.broken=prob:nan;status_test.survivor=times:1");
+  EXPECT_FALSE(st.ok());
+  // Error reported AND the well-formed tail entry still armed.
+  EXPECT_TRUE(FailpointFires("status_test.survivor"));
+  EXPECT_TRUE(fps.Disarm("status_test.survivor"));
+  (void)fps.Disarm("status_test.broken");
+}
+
+TEST(StatusDeathTest, ScopedFailpointAbortsOnMalformedSpec) {
+  // The RAII helper cannot return a Status, so it aborts loudly instead
+  // of swallowing the parse failure (the pre-[[nodiscard]] behavior).
+  EXPECT_DEATH(
+      { ScopedFailpoint fp("status_test.death", "prob:two"); },
+      "ScopedFailpoint");
+}
+
+}  // namespace
+}  // namespace vdb

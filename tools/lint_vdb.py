@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for the vdbms tree.
+
+Checks invariants the compiler cannot see (run from the repo root, or
+pass --root):
+
+  1. Failpoint sites: every name passed to FailpointFires /
+     FailpointDelayMs / FailpointCrashSite in src/ is compiled in at
+     exactly one call site, and is documented in DESIGN.md §5.
+  2. Telemetry names: every `vdb_*` metric registered via GetCounter /
+     GetGauge / GetHistogram uses exactly one metric kind tree-wide,
+     matches the naming scheme of DESIGN.md §7, and carries the
+     kind-specific suffix (counters `_total`, histograms `_seconds`).
+  3. Raw durability I/O (`::write`, `fsync`, `fdatasync`, `pwrite`) is
+     confined to src/storage/ — every other layer must go through the
+     storage abstractions so failpoints and short-write handling stay
+     on every durability path.
+
+Exit status 0 when clean; 1 with one "file:line: message" per violation
+otherwise. Run by the `lint` CI job and locally via
+`python3 tools/lint_vdb.py`.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+FAILPOINT_CALL = re.compile(
+    r"\b(?:FailpointFires|FailpointDelayMs|FailpointCrashSite|"
+    r"FailpointCrashNow)\s*\(\s*\"([^\"]+)\"")
+METRIC_CALL = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)")
+METRIC_NAME = re.compile(r"^vdb_[a-z0-9_]+$")
+RAW_IO = re.compile(r"(::write\s*\(|\b(?:fsync|fdatasync|pwrite)\s*\()")
+
+# Files allowed to issue raw durability syscalls. core/failpoint.cc uses
+# only _exit (not matched); everything else routes through storage/.
+RAW_IO_ALLOWED_PREFIX = "src/storage/"
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (keeps line count: block comments
+    are replaced newline-for-newline) so doc mentions of fsync etc.
+    don't trip the raw-I/O check. String literals are left intact."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        elif text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j == -1 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j == -1 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def source_files(root):
+    for sub in ("src",):
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix in (".cc", ".h"):
+                yield path
+
+
+def design_section(root, header_prefix):
+    """Returns the DESIGN.md section starting at `header_prefix` (e.g.
+    '## 5.') up to the next '## ' header."""
+    design = (root / "DESIGN.md").read_text()
+    lines = design.splitlines()
+    start = next((i for i, l in enumerate(lines)
+                  if l.startswith(header_prefix)), None)
+    if start is None:
+        return ""
+    end = next((i for i in range(start + 1, len(lines))
+                if lines[i].startswith("## ")), len(lines))
+    return "\n".join(lines[start:end])
+
+
+def check_failpoints(root, errors):
+    sites = {}  # name -> [(file, line)]
+    for path in source_files(root):
+        text = strip_comments(path.read_text())
+        for m in FAILPOINT_CALL.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            sites.setdefault(m.group(1), []).append(
+                (path.relative_to(root), line))
+    section = design_section(root, "## 5.")
+    for name, locs in sorted(sites.items()):
+        if len(locs) > 1:
+            where = ", ".join(f"{f}:{l}" for f, l in locs)
+            errors.append(f"failpoint '{name}' compiled at {len(locs)} "
+                          f"sites ({where}); site names must be unique")
+        if name not in section:
+            f, l = locs[0]
+            errors.append(f"{f}:{l}: failpoint '{name}' is not documented "
+                          f"in DESIGN.md §5 site inventory")
+    return sites
+
+
+def check_telemetry(root, errors):
+    kinds = {}  # base name -> {kind: [(file, line)]}
+    for path in source_files(root):
+        text = strip_comments(path.read_text())
+        for m in METRIC_CALL.finditer(text):
+            kind, name = m.group(1), m.group(2)
+            base = name.split("{", 1)[0]
+            line = text.count("\n", 0, m.start()) + 1
+            loc = (path.relative_to(root), line)
+            kinds.setdefault(base, {}).setdefault(kind, []).append(loc)
+            if not METRIC_NAME.match(base):
+                errors.append(f"{loc[0]}:{loc[1]}: metric '{base}' violates "
+                              f"naming scheme vdb_<subsystem>_<what>")
+    for base, by_kind in sorted(kinds.items()):
+        if len(by_kind) > 1:
+            detail = "; ".join(
+                f"{kind} at {f}:{l}"
+                for kind, locs in sorted(by_kind.items()) for f, l in locs)
+            errors.append(f"metric '{base}' registered as multiple kinds "
+                          f"({detail}); a name must map to one metric kind")
+        (kind,) = list(by_kind)[:1] or [None]
+        f, l = by_kind[kind][0]
+        if kind == "Counter" and not base.endswith("_total"):
+            errors.append(f"{f}:{l}: counter '{base}' must end in _total")
+        if kind == "Histogram" and not base.endswith("_seconds"):
+            errors.append(f"{f}:{l}: histogram '{base}' must end in _seconds")
+    return kinds
+
+
+def check_raw_io(root, errors):
+    for path in source_files(root):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(RAW_IO_ALLOWED_PREFIX):
+            continue
+        text = strip_comments(path.read_text())
+        for m in RAW_IO.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            errors.append(f"{rel}:{line}: raw durability I/O "
+                          f"('{m.group(0).strip()}...') outside "
+                          f"{RAW_IO_ALLOWED_PREFIX} — use the storage layer")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root (default: this script's parent/..)")
+    args = parser.parse_args()
+
+    errors = []
+    sites = check_failpoints(args.root, errors)
+    metrics = check_telemetry(args.root, errors)
+    check_raw_io(args.root, errors)
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"lint_vdb: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint_vdb: OK ({len(sites)} failpoint sites, "
+          f"{len(metrics)} telemetry names)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
