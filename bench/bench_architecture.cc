@@ -40,6 +40,8 @@
 #include "db/scrubber.h"
 #include "db/query_language.h"
 #include "exec/trace.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "storage/wal.h"
 
 namespace {
@@ -223,7 +225,7 @@ int main() {
     failpoints.Disarm("arch.selfcheck");
     ok = ok && failpoints.ArmedNames().size() == pre_armed;
     bench::Row("    failpoint registry (VDB_FAILPOINTS, %zu sites) .... %s",
-               std::size_t{24}, Check(ok));
+               std::size_t{30}, Check(ok));
 
     ShardedOptions sharded_opts;
     sharded_opts.num_shards = 2;
@@ -276,6 +278,78 @@ int main() {
     }
     bench::Row("    scrubber + corrupt-generation fallback ........... %s",
                Check(ok));
+  }
+
+  bench::Row("%s", "");
+  bench::Row("Serving");
+  {
+    // Overload-resilient serving layer (DESIGN.md §10): run a burst
+    // through a deliberately tight quota, then drain. The interesting
+    // numbers are the verdict split, the shed rate (every shed is an
+    // explicit RETRY-AFTER, never a drop), and the drain time.
+    Database db;
+    CollectionOptions co;
+    co.dim = 16;
+    co.index_factory = [] { return std::make_unique<HnswIndex>(); };
+    auto coll = db.CreateCollection("serve", co);
+    bool ok = coll.ok();
+    for (std::size_t i = 0; ok && i < 500; ++i) {
+      ok = (*coll)->Insert(i, w.data.row_view(i)).ok();
+    }
+    ok = ok && (*coll)->BuildIndex().ok();
+
+    auto& reg = Registry::Global();
+    std::uint64_t admitted0 =
+        reg.GetCounter("vdb_server_admitted_total").Value();
+    std::uint64_t throttled0 =
+        reg.GetCounter("vdb_server_throttled_total").Value();
+    std::uint64_t requests0 =
+        reg.GetCounter("vdb_server_query_requests_total").Value();
+
+    net::ServerOptions so;
+    so.num_workers = 2;
+    so.admission.default_quota.tokens_per_sec = 100.0;
+    so.admission.default_quota.burst = 32.0;
+    net::DrainReport drain;
+    std::uint64_t shed_with_hint = 0;
+    if (auto server = net::Server::Start(&db, std::move(so)); server.ok()) {
+      std::string vec = "[";
+      for (std::size_t j = 0; j < 16; ++j) {
+        if (j) vec += ", ";
+        vec += std::to_string(w.queries.at(0, j));
+      }
+      vec += "]";
+      std::string text =
+          "SELECT knn(5) FROM serve ORDER BY distance(" + vec + ")";
+      auto client = net::Client::Connect("127.0.0.1", (*server)->port());
+      ok = ok && client.ok();
+      for (int i = 0; ok && i < 64; ++i) {
+        auto resp = (*client)->Query(text, "bench", 0);
+        ok = resp.ok();
+        if (ok && resp->status != net::WireStatus::kOk) {
+          ok = resp->retry_after_ms > 0;  // shed => explicit hint
+          if (ok) ++shed_with_hint;
+        }
+      }
+      drain = (*server)->Shutdown();
+      ok = ok && drain.clean;
+    } else {
+      ok = false;
+    }
+    std::uint64_t requests =
+        reg.GetCounter("vdb_server_query_requests_total").Value() - requests0;
+    std::uint64_t admitted =
+        reg.GetCounter("vdb_server_admitted_total").Value() - admitted0;
+    std::uint64_t throttled =
+        reg.GetCounter("vdb_server_throttled_total").Value() - throttled0;
+    bench::Row("    epoll server + admission (%2llu ok / %2llu shed) ...... %s",
+               (unsigned long long)admitted, (unsigned long long)throttled,
+               Check(ok && requests == admitted + throttled));
+    bench::Row("    explicit RETRY-AFTER on every shed (%.0f%% shed) .... %s",
+               requests ? 100.0 * double(throttled) / double(requests) : 0.0,
+               Check(shed_with_hint == throttled));
+    bench::Row("    graceful drain (%.1f ms, clean) ................... %s",
+               drain.seconds * 1e3, Check(drain.clean));
   }
 
   bench::Row("%s", "");

@@ -8,17 +8,24 @@
 // measured span tree. The line `.metrics` dumps the process metrics
 // registry in Prometheus text format; `.scrub <dir>` verifies every CRC
 // in a RecoveryManager data directory (append `quarantine` to move
-// corrupt files aside).
+// corrupt files aside); `.serve [port]` turns the shell into a network
+// query server over the DESIGN.md §10 wire protocol (SIGTERM/SIGINT
+// triggers a graceful drain, then the process exits 0 on a clean drain).
 //
+// Commands may also be given on the command line (`vdbsh .serve 7070`).
 // With no stdin input (e.g. under ctest) it runs a canned demo script.
 //
 //   echo "SELECT knn(3) FROM products WHERE price < 50.0 ORDER BY
 //         distance([...])" | ./build/examples/vdbsh
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/synthetic.h"
 #include "core/telemetry.h"
@@ -26,10 +33,20 @@
 #include "db/query_language.h"
 #include "db/scrubber.h"
 #include "index/hnsw.h"
+#include "net/server.h"
 
 #include "example_util.h"
 
 namespace {
+
+// Drain-on-signal plumbing for `.serve`: RequestDrain is
+// async-signal-safe by contract, so the handler may call it directly.
+std::atomic<vdb::net::Server*> g_server{nullptr};
+
+extern "C" void HandleDrainSignal(int) {
+  vdb::net::Server* server = g_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrain();
+}
 
 std::string VectorLiteral(const vdb::FloatMatrix& data, std::size_t row) {
   std::string out = "[";
@@ -42,7 +59,7 @@ std::string VectorLiteral(const vdb::FloatMatrix& data, std::size_t row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdb;
 
   Database db;
@@ -78,7 +95,9 @@ int main() {
               "[WHERE <pred>] ORDER BY distance([8 floats])\n");
   std::printf("         .metrics dumps the Prometheus registry\n");
   std::printf("         .scrub <dir> [quarantine] verifies a data dir's "
-              "CRCs\n\n");
+              "CRCs\n");
+  std::printf("         .serve [port] serves queries over the wire protocol "
+              "(SIGTERM drains)\n\n");
 
   auto run = [&](const std::string& line) {
     if (line == ".metrics") {
@@ -107,6 +126,39 @@ int main() {
       std::fputs(report->ToString().c_str(), stdout);
       return;
     }
+    if (line.rfind(".serve", 0) == 0) {
+      net::ServerOptions sopts;
+      std::string rest = line.substr(6);
+      std::size_t b = rest.find_first_not_of(" \t");
+      if (b != std::string::npos) {
+        sopts.port = static_cast<std::uint16_t>(std::stoi(rest.substr(b)));
+      }
+      auto server = net::Server::Start(&db, sopts);
+      if (!server.ok()) {
+        std::printf("error: %s\n", server.status().ToString().c_str());
+        return;
+      }
+      g_server.store(server->get(), std::memory_order_release);
+      std::signal(SIGTERM, HandleDrainSignal);
+      std::signal(SIGINT, HandleDrainSignal);
+      std::printf("serving on 127.0.0.1:%u — SIGTERM/SIGINT drains, then "
+                  "exit\n",
+                  unsigned{(*server)->port()});
+      std::fflush(stdout);
+      while (!(*server)->draining()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      net::DrainReport report = (*server)->Shutdown();
+      g_server.store(nullptr, std::memory_order_release);
+      std::printf("drain %s in %.3fs (%zu requests aborted, %zu connections "
+                  "closed)\n",
+                  report.clean ? "clean" : "FORCED", report.seconds,
+                  report.aborted_requests, report.closed_connections);
+      // Flush telemetry before exiting: the final registry state is the
+      // post-mortem record of what the server did.
+      std::fputs(Registry::Global().RenderPrometheus().c_str(), stdout);
+      std::exit(report.clean ? 0 : 1);
+    }
     auto result = ExecuteQueryTraced(&db, line);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -129,6 +181,15 @@ int main() {
                   price.ok() ? std::get<double>(*price) : -1.0);
     }
   };
+
+  // Command-line mode: `vdbsh .serve 7070` etc. — one command, no stdin.
+  if (argc > 1) {
+    std::string line = argv[1];
+    for (int i = 2; i < argc; ++i) line += std::string(" ") + argv[i];
+    std::printf("> %s\n", line.c_str());
+    run(line);
+    return 0;
+  }
 
   std::string line;
   bool got_input = false;

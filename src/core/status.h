@@ -22,6 +22,8 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,  ///< transient overload — retry later (serving layer)
 };
 
 /// Lightweight success/error carrier. Cheap to copy when OK (no message).
@@ -62,6 +64,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -93,6 +101,8 @@ class [[nodiscard]] Status {
       case StatusCode::kIoError: return "IO_ERROR";
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
   }

@@ -341,7 +341,8 @@ Result<ParsedQuery> ParseQuery(const std::string& text) {
   return parser.Parse();
 }
 
-Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text) {
+Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text,
+                                       const QueryOptions& opts) {
   if (db == nullptr) return Status::InvalidArgument("db must not be null");
   auto& reg = Registry::Global();
   static Counter& query_count = reg.GetCounter("vdb_queries_total");
@@ -367,6 +368,11 @@ Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text) {
   SearchParams params;
   params.trace = &trace;
   params.k = query.k;  // the plan choice depends on k
+  params.deadline = opts.deadline;
+  if (params.DeadlineExpired()) {
+    // Cancel before planning: a doomed query should cost nothing.
+    return Status::DeadlineExceeded("query deadline expired before execution");
+  }
   if (query.has_predicate) {
     // Report the plan the optimizer would pick; execution re-plans
     // internally (planning is a cheap selectivity estimate).

@@ -1,6 +1,7 @@
 #ifndef VDB_DB_QUERY_LANGUAGE_H_
 #define VDB_DB_QUERY_LANGUAGE_H_
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -53,13 +54,24 @@ struct QueryResult {
   std::string explain;  ///< measured span tree; nonempty iff EXPLAIN ANALYZE
 };
 
+/// Per-execution options carried from outside the query text — the
+/// serving layer's request envelope (deadline propagation); the query
+/// dialect itself stays purely declarative.
+struct QueryOptions {
+  /// Absolute steady-clock deadline; epoch-zero = none. Propagated into
+  /// SearchParams::deadline, so an expired query is cancelled before the
+  /// index scan runs (DEADLINE_EXCEEDED) rather than computed.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
 /// Parses and executes against `db` (hybrid path when a WHERE clause is
 /// present, plain k-NN otherwise). The relational-optimizer analogy of
 /// §2.4(2): the collection's configured plan optimizer picks the plan.
 /// Every query is traced (spans feed the slow-query log and, under
 /// EXPLAIN ANALYZE, the returned `explain` text) and counted in the
 /// global metrics registry.
-Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text);
+Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text,
+                                       const QueryOptions& opts = {});
 
 /// Compatibility wrapper around ExecuteQueryTraced returning rows only.
 Result<std::vector<Neighbor>> ExecuteQuery(Database* db,

@@ -70,6 +70,11 @@ Status VectorIndex::Search(const float* query, const SearchParams& params,
   if (out == nullptr) return Status::InvalidArgument("out must not be null");
   out->clear();
   if (params.k == 0) return Status::Ok();
+  if (params.DeadlineExpired()) {
+    // Doomed query: the client's deadline passed (typically while the
+    // request waited in a serving-layer run queue) — don't compute it.
+    return Status::DeadlineExceeded("query deadline expired before search");
+  }
 
   // Callers may accumulate one SearchStats across many queries, so the
   // registry flush works on the delta this call produced.

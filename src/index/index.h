@@ -1,6 +1,7 @@
 #ifndef VDB_INDEX_INDEX_H_
 #define VDB_INDEX_INDEX_H_
 
+#include <chrono>
 #include <memory>
 #include <span>
 #include <string>
@@ -80,6 +81,20 @@ struct SearchParams {
   /// Optional per-query trace (not owned, not thread-safe): layers that
   /// see it record timed spans. Null disables tracing at zero cost.
   QueryTrace* trace = nullptr;
+
+  /// Absolute deadline (steady clock). Epoch-zero means none. A query
+  /// whose deadline has already passed is *cancelled before it is
+  /// computed*: `Search` returns DEADLINE_EXCEEDED instead of scanning.
+  /// The serving layer sets this from the client-propagated deadline so
+  /// work that sat too long in the run queue is never executed.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool HasDeadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool DeadlineExpired() const {
+    return HasDeadline() && std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 /// Abstract approximate/exact nearest-neighbor index over one vector

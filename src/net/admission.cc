@@ -1,0 +1,181 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/telemetry.h"
+
+namespace vdb::net {
+
+namespace {
+
+struct Metrics {
+  Counter& admitted;
+  Counter& throttled;
+  Counter& shed_queue_full;
+  Counter& breaker_rejected;
+  Counter& rejected_draining;
+  Counter& breaker_trips;
+  Gauge& queue_depth;
+  Gauge& in_flight;
+  Gauge& breaker_open;
+
+  static Metrics& Get() {
+    auto& reg = Registry::Global();
+    static Metrics m{
+        reg.GetCounter("vdb_server_admitted_total"),
+        reg.GetCounter("vdb_server_throttled_total"),
+        reg.GetCounter("vdb_server_shed_queue_full_total"),
+        reg.GetCounter("vdb_server_breaker_rejected_total"),
+        reg.GetCounter("vdb_server_rejected_draining_total"),
+        reg.GetCounter("vdb_server_breaker_trips_total"),
+        reg.GetGauge("vdb_server_queue_depth"),
+        reg.GetGauge("vdb_server_in_flight"),
+        reg.GetGauge("vdb_server_breaker_open"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions opts)
+    : opts_(std::move(opts)) {}
+
+const TenantQuota& AdmissionController::QuotaFor(
+    const std::string& tenant) const {
+  auto it = opts_.tenant_quotas.find(tenant);
+  return it == opts_.tenant_quotas.end() ? opts_.default_quota : it->second;
+}
+
+AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
+                                            Clock::time_point now) {
+  Metrics& m = Metrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  if (draining_) {
+    m.rejected_draining.Inc();
+    // No retry hint: this process is going away; the client should
+    // re-resolve, not re-send here.
+    return {AdmitVerdict::kDraining, 0};
+  }
+
+  if (breaker_open_until_ != Clock::time_point{}) {
+    if (now < breaker_open_until_) {
+      m.breaker_rejected.Inc();
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           breaker_open_until_ - now)
+                           .count();
+      return {AdmitVerdict::kBreakerOpen,
+              std::max<std::uint32_t>(static_cast<std::uint32_t>(remaining),
+                                      1)};
+    }
+    // Cooldown over — half-open: admit traffic again; the next backend
+    // failure streak re-trips immediately.
+    breaker_open_until_ = {};
+    m.breaker_open.Set(0);
+  }
+
+  if (queued_ >= opts_.max_queue_depth) {
+    m.shed_queue_full.Inc();
+    return {AdmitVerdict::kQueueFull, opts_.retry_after_floor_ms};
+  }
+
+  const TenantQuota& quota = QuotaFor(tenant);
+  TenantState& state = tenants_[tenant];
+  if (!state.initialized) {
+    state.tokens = quota.burst;
+    state.last_refill = now;
+    state.initialized = true;
+  }
+
+  if (state.in_flight >= quota.max_in_flight) {
+    m.throttled.Inc();
+    return {AdmitVerdict::kThrottled, opts_.retry_after_floor_ms};
+  }
+
+  // Token-bucket refill: elapsed * rate, capped at burst. Negative
+  // elapsed (caller clock misuse) refills nothing.
+  double elapsed =
+      std::chrono::duration<double>(now - state.last_refill).count();
+  if (elapsed > 0) {
+    state.tokens = std::min(quota.burst,
+                            state.tokens + elapsed * quota.tokens_per_sec);
+    state.last_refill = now;
+  }
+
+  if (state.tokens < 1.0) {
+    m.throttled.Inc();
+    std::uint32_t retry_ms = opts_.retry_after_floor_ms;
+    if (quota.tokens_per_sec > 0) {
+      double wait_s = (1.0 - state.tokens) / quota.tokens_per_sec;
+      retry_ms = std::max<std::uint32_t>(
+          retry_ms, static_cast<std::uint32_t>(std::ceil(wait_s * 1e3)));
+    }
+    return {AdmitVerdict::kThrottled, retry_ms};
+  }
+
+  state.tokens -= 1.0;
+  state.in_flight += 1;
+  ++queued_;
+  m.admitted.Inc();
+  m.queue_depth.Set(static_cast<std::int64_t>(queued_));
+  m.in_flight.Set(static_cast<std::int64_t>(queued_ + executing_));
+  return {AdmitVerdict::kAdmit, 0};
+}
+
+void AdmissionController::OnStart() {
+  Metrics& m = Metrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queued_ > 0) --queued_;
+  ++executing_;
+  m.queue_depth.Set(static_cast<std::int64_t>(queued_));
+}
+
+void AdmissionController::OnComplete(const std::string& tenant,
+                                     bool backend_healthy,
+                                     Clock::time_point now) {
+  Metrics& m = Metrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (executing_ > 0) --executing_;
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.in_flight > 0) {
+    it->second.in_flight -= 1;
+  }
+  m.in_flight.Set(static_cast<std::int64_t>(queued_ + executing_));
+
+  if (opts_.breaker_threshold == 0) return;
+  if (backend_healthy) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  if (++consecutive_failures_ >= opts_.breaker_threshold) {
+    consecutive_failures_ = 0;
+    breaker_open_until_ =
+        now + std::chrono::milliseconds(opts_.breaker_cooldown_ms);
+    m.breaker_trips.Inc();
+    m.breaker_open.Set(1);
+  }
+}
+
+void AdmissionController::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t AdmissionController::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_ + executing_;
+}
+
+std::size_t AdmissionController::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace vdb::net

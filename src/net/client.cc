@@ -1,0 +1,101 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/posix_io.h"
+
+namespace vdb::net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status st =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return Result<std::unique_ptr<Client>>(
+      std::unique_ptr<Client>(new Client(fd)));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Response> Client::RoundTrip(const Request& req) {
+  frame_buf_.clear();
+  EncodeRequest(req, &frame_buf_);
+  // Blocking socket: posix_io supplies the EINTR/short-transfer loops,
+  // the same helper the WAL writes through.
+  VDB_RETURN_IF_ERROR(posix_io::WriteFully(fd_, frame_buf_.data(),
+                                           frame_buf_.size(), "net send"));
+
+  std::uint8_t len_bytes[4];
+  VDB_RETURN_IF_ERROR(
+      posix_io::ReadFully(fd_, len_bytes, sizeof(len_bytes), "net recv len"));
+  std::uint32_t len = static_cast<std::uint32_t>(len_bytes[0]) |
+                      static_cast<std::uint32_t>(len_bytes[1]) << 8 |
+                      static_cast<std::uint32_t>(len_bytes[2]) << 16 |
+                      static_cast<std::uint32_t>(len_bytes[3]) << 24;
+  if (len > kMaxFrameBytes) {
+    return Status::IoError("response frame exceeds size limit");
+  }
+  frame_buf_.assign(len, 0);
+  VDB_RETURN_IF_ERROR(
+      posix_io::ReadFully(fd_, frame_buf_.data(), len, "net recv payload"));
+
+  VDB_ASSIGN_OR_RETURN(Response resp, DecodeResponse(frame_buf_));
+  if (resp.request_id != req.request_id) {
+    return Status::IoError("response id mismatch (connection desynced)");
+  }
+  return Result<Response>(std::move(resp));
+}
+
+Result<Response> Client::Query(const std::string& text,
+                               const std::string& tenant,
+                               std::uint32_t deadline_ms) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.request_id = next_request_id_++;
+  req.tenant = tenant;
+  req.deadline_ms = deadline_ms;
+  req.text = text;
+  return RoundTrip(req);
+}
+
+Result<Response> Client::Ping() {
+  Request req;
+  req.type = MsgType::kPing;
+  req.request_id = next_request_id_++;
+  return RoundTrip(req);
+}
+
+Result<Response> Client::Metrics() {
+  Request req;
+  req.type = MsgType::kMetrics;
+  req.request_id = next_request_id_++;
+  return RoundTrip(req);
+}
+
+}  // namespace vdb::net

@@ -1,0 +1,50 @@
+#ifndef VDB_NET_CLIENT_H_
+#define VDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "net/protocol.h"
+
+namespace vdb::net {
+
+/// Minimal blocking client for the wire protocol — what loadgen, vdbsh
+/// and the tests speak. One request in flight per client (the *protocol*
+/// supports pipelining via request ids; this helper keeps the simple
+/// lock-step shape). Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 std::uint16_t port);
+  ~Client();  ///< closes the socket
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends a query and waits for its response. The returned Response may
+  /// carry a non-kOk status (throttled / queue-full / draining / query
+  /// errors) — transport-level failures are the Status channel, protocol
+  /// verdicts are the Response.
+  Result<Response> Query(const std::string& text, const std::string& tenant,
+                         std::uint32_t deadline_ms);
+
+  Result<Response> Ping();
+  /// Metrics snapshot; the JSON lands in Response::body.
+  Result<Response> Metrics();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  Result<Response> RoundTrip(const Request& req);
+
+  int fd_;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> frame_buf_;
+};
+
+}  // namespace vdb::net
+
+#endif  // VDB_NET_CLIENT_H_

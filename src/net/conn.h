@@ -1,0 +1,61 @@
+#ifndef VDB_NET_CONN_H_
+#define VDB_NET_CONN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace vdb::net {
+
+/// One accepted, non-blocking connection. Owned and driven exclusively
+/// by the server's event-loop thread (no internal locking): the loop
+/// calls ReadReady/WriteReady on epoll readiness, and workers hand
+/// finished responses back to the loop, which serializes them here.
+///
+/// Failpoint sites (the short-I/O and EINTR torture the soak test arms):
+///   net.read.short / net.write.short — caps one syscall's transfer at
+///     a single byte, forcing the partial-frame re-entry paths;
+///   net.read.eintr / net.write.eintr — injects one spurious EINTR
+///     retry into the syscall wrapper.
+class Conn {
+ public:
+  Conn(int fd, std::uint64_t id);
+  ~Conn();  ///< closes the socket
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  enum class IoResult {
+    kOk,             ///< connection stays open
+    kClosed,         ///< peer closed or fatal socket error
+    kProtocolError,  ///< oversize/garbage frame — close after error reply
+  };
+
+  /// Drains the socket (until EAGAIN) and appends each complete frame's
+  /// payload to `*frames`. Partial frames stay buffered across calls.
+  IoResult ReadReady(std::vector<std::vector<std::uint8_t>>* frames);
+
+  /// Serializes `resp` onto the write buffer (flushed by WriteReady).
+  void QueueResponse(const Response& resp);
+
+  /// Flushes as much of the write buffer as the socket accepts.
+  IoResult WriteReady();
+
+  /// True while unflushed response bytes remain (EPOLLOUT interest).
+  bool WantsWrite() const { return write_at_ < write_buf_.size(); }
+
+  int fd() const { return fd_; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  std::vector<std::uint8_t> read_buf_;
+  std::vector<std::uint8_t> write_buf_;
+  std::size_t write_at_ = 0;
+};
+
+}  // namespace vdb::net
+
+#endif  // VDB_NET_CONN_H_

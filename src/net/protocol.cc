@@ -1,0 +1,257 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace vdb::net {
+
+namespace {
+
+void PutU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(v & 0xff);
+  out->push_back((v >> 8) & 0xff);
+}
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+void PutU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+void PutF32(std::vector<std::uint8_t>* out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutU32(out, bits);
+}
+void PutString(std::vector<std::uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian cursor (mirror of the WAL reader; local
+/// because the two formats evolve independently).
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool U8(std::uint8_t* v) { return Fixed(v, 1); }
+  bool U16(std::uint16_t* v) { return Fixed(v, 2); }
+  bool U32(std::uint32_t* v) { return Fixed(v, 4); }
+  bool U64(std::uint64_t* v) { return Fixed(v, 8); }
+  bool F32(float* v) {
+    std::uint32_t bits;
+    if (!U32(&bits)) return false;
+    std::memcpy(v, &bits, 4);
+    return true;
+  }
+  bool String(std::string* out, std::size_t len) {
+    if (at_ + len > data_.size()) return false;
+    out->assign(reinterpret_cast<const char*>(data_.data() + at_), len);
+    at_ += len;
+    return true;
+  }
+  bool AtEnd() const { return at_ == data_.size(); }
+
+ private:
+  template <typename T>
+  bool Fixed(T* v, std::size_t n) {
+    if (at_ + n > data_.size()) return false;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc |= static_cast<std::uint64_t>(data_[at_ + i]) << (8 * i);
+    }
+    *v = static_cast<T>(acc);
+    at_ += n;
+    return true;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t at_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated frame: ") + what);
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kCorruption: return "CORRUPTION";
+    case WireStatus::kIoError: return "IO_ERROR";
+    case WireStatus::kInternal: return "INTERNAL";
+    case WireStatus::kUnsupported: return "UNSUPPORTED";
+    case WireStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireStatus::kThrottled: return "THROTTLED";
+    case WireStatus::kQueueFull: return "QUEUE_FULL";
+    case WireStatus::kBreakerOpen: return "BREAKER_OPEN";
+    case WireStatus::kDraining: return "DRAINING";
+    case WireStatus::kMalformed: return "MALFORMED";
+  }
+  return "UNKNOWN";
+}
+
+WireStatus WireStatusFromStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return WireStatus::kOk;
+    case StatusCode::kInvalidArgument: return WireStatus::kInvalidArgument;
+    case StatusCode::kNotFound: return WireStatus::kNotFound;
+    case StatusCode::kAlreadyExists: return WireStatus::kInvalidArgument;
+    case StatusCode::kOutOfRange: return WireStatus::kInvalidArgument;
+    case StatusCode::kUnsupported: return WireStatus::kUnsupported;
+    case StatusCode::kCorruption: return WireStatus::kCorruption;
+    case StatusCode::kIoError: return WireStatus::kIoError;
+    case StatusCode::kFailedPrecondition: return WireStatus::kInvalidArgument;
+    case StatusCode::kInternal: return WireStatus::kInternal;
+    case StatusCode::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
+    case StatusCode::kUnavailable: return WireStatus::kThrottled;
+  }
+  return WireStatus::kInternal;
+}
+
+Status StatusFromWire(WireStatus s, const std::string& message) {
+  switch (s) {
+    case WireStatus::kOk: return Status::Ok();
+    case WireStatus::kInvalidArgument: return Status::InvalidArgument(message);
+    case WireStatus::kNotFound: return Status::NotFound(message);
+    case WireStatus::kCorruption: return Status::Corruption(message);
+    case WireStatus::kIoError: return Status::IoError(message);
+    case WireStatus::kInternal: return Status::Internal(message);
+    case WireStatus::kUnsupported: return Status::Unsupported(message);
+    case WireStatus::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case WireStatus::kThrottled:
+    case WireStatus::kQueueFull:
+    case WireStatus::kBreakerOpen:
+    case WireStatus::kDraining:
+      return Status::Unavailable(message);
+    case WireStatus::kMalformed: return Status::InvalidArgument(message);
+  }
+  return Status::Internal(message);
+}
+
+bool IsRetryable(WireStatus s) {
+  return s == WireStatus::kThrottled || s == WireStatus::kQueueFull ||
+         s == WireStatus::kBreakerOpen || s == WireStatus::kDraining;
+}
+
+void EncodeRequest(const Request& req, std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> payload;
+  PutU8(&payload, static_cast<std::uint8_t>(req.type));
+  PutU64(&payload, req.request_id);
+  if (req.type == MsgType::kQuery) {
+    PutU16(&payload, static_cast<std::uint16_t>(req.tenant.size()));
+    payload.insert(payload.end(), req.tenant.begin(), req.tenant.end());
+    PutU32(&payload, req.deadline_ms);
+    PutString(&payload, req.text);
+  }
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void EncodeResponse(const Response& resp, std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> payload;
+  PutU8(&payload, static_cast<std::uint8_t>(MsgType::kResponse));
+  PutU64(&payload, resp.request_id);
+  PutU8(&payload, static_cast<std::uint8_t>(resp.status));
+  PutU32(&payload, resp.retry_after_ms);
+  PutString(&payload, resp.message);
+  PutU32(&payload, static_cast<std::uint32_t>(resp.rows.size()));
+  for (const Neighbor& n : resp.rows) {
+    PutU64(&payload, n.id);
+    PutF32(&payload, n.dist);
+  }
+  PutString(&payload, resp.body);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+FrameResult ExtractFrame(std::span<const std::uint8_t> buf,
+                         std::span<const std::uint8_t>* payload,
+                         std::size_t* consumed) {
+  if (buf.size() < 4) return FrameResult::kNeedMore;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) return FrameResult::kTooLarge;
+  if (buf.size() < 4u + len) return FrameResult::kNeedMore;
+  *payload = buf.subspan(4, len);
+  *consumed = 4u + len;
+  return FrameResult::kReady;
+}
+
+Result<Request> DecodeRequest(std::span<const std::uint8_t> payload) {
+  Cursor c(payload);
+  std::uint8_t type;
+  Request req;
+  if (!c.U8(&type)) return Truncated("type");
+  if (!c.U64(&req.request_id)) return Truncated("request_id");
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQuery: {
+      req.type = MsgType::kQuery;
+      std::uint16_t tenant_len;
+      if (!c.U16(&tenant_len)) return Truncated("tenant_len");
+      if (!c.String(&req.tenant, tenant_len)) return Truncated("tenant");
+      if (!c.U32(&req.deadline_ms)) return Truncated("deadline_ms");
+      std::uint32_t text_len;
+      if (!c.U32(&text_len)) return Truncated("text_len");
+      if (!c.String(&req.text, text_len)) return Truncated("text");
+      break;
+    }
+    case MsgType::kPing:
+      req.type = MsgType::kPing;
+      break;
+    case MsgType::kMetrics:
+      req.type = MsgType::kMetrics;
+      break;
+    default:
+      return Status::InvalidArgument("unknown request type " +
+                                     std::to_string(type));
+  }
+  if (!c.AtEnd()) return Status::InvalidArgument("trailing bytes in request");
+  return req;
+}
+
+Result<Response> DecodeResponse(std::span<const std::uint8_t> payload) {
+  Cursor c(payload);
+  std::uint8_t type;
+  if (!c.U8(&type)) return Truncated("type");
+  if (static_cast<MsgType>(type) != MsgType::kResponse) {
+    return Status::InvalidArgument("not a response frame");
+  }
+  Response resp;
+  std::uint8_t status_byte;
+  if (!c.U64(&resp.request_id)) return Truncated("request_id");
+  if (!c.U8(&status_byte)) return Truncated("status");
+  if (status_byte > static_cast<std::uint8_t>(WireStatus::kMalformed)) {
+    return Status::InvalidArgument("unknown wire status " +
+                                   std::to_string(status_byte));
+  }
+  resp.status = static_cast<WireStatus>(status_byte);
+  if (!c.U32(&resp.retry_after_ms)) return Truncated("retry_after_ms");
+  std::uint32_t message_len;
+  if (!c.U32(&message_len)) return Truncated("message_len");
+  if (!c.String(&resp.message, message_len)) return Truncated("message");
+  std::uint32_t nrows;
+  if (!c.U32(&nrows)) return Truncated("nrows");
+  // Each row is 12 bytes; reject row counts the payload cannot hold
+  // before reserving (a hostile nrows must not drive an allocation).
+  if (nrows > payload.size() / 12) return Truncated("rows");
+  resp.rows.reserve(nrows);
+  for (std::uint32_t i = 0; i < nrows; ++i) {
+    Neighbor n;
+    if (!c.U64(&n.id) || !c.F32(&n.dist)) return Truncated("row");
+    resp.rows.push_back(n);
+  }
+  std::uint32_t body_len;
+  if (!c.U32(&body_len)) return Truncated("body_len");
+  if (!c.String(&resp.body, body_len)) return Truncated("body");
+  if (!c.AtEnd()) return Status::InvalidArgument("trailing bytes in response");
+  return resp;
+}
+
+}  // namespace vdb::net

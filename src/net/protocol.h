@@ -1,0 +1,118 @@
+#ifndef VDB_NET_PROTOCOL_H_
+#define VDB_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace vdb::net {
+
+/// Length-prefixed wire protocol for the serving layer (DESIGN.md §10).
+///
+/// Every message is one frame: `[u32 payload_len][payload]`, integers
+/// little-endian (matching the WAL/serializer convention). The payload
+/// starts with a message type byte and a client-chosen request id the
+/// server echoes back, so a client may pipeline requests on one
+/// connection and match responses out of order.
+///
+///   Query request payload:
+///     [u8 type=1][u64 request_id][u16 tenant_len][tenant]
+///     [u32 deadline_ms][u32 text_len][text]
+///   Ping request:    [u8 type=2][u64 request_id]
+///   Metrics request: [u8 type=3][u64 request_id]
+///
+///   Response payload (one shape for all request types):
+///     [u8 type=128][u64 request_id][u8 wire_status][u32 retry_after_ms]
+///     [u32 message_len][message][u32 nrows][(u64 id, f32 dist)*]
+///     [u32 body_len][body]
+///
+/// `retry_after_ms` is nonzero exactly when the request was shed by
+/// admission control (throttle / queue-full / breaker / drain): the
+/// explicit RETRY-AFTER contract — overload is reported, never a stall
+/// or a silent drop. `body` carries the metrics JSON for kMetrics and
+/// the EXPLAIN/plan text for queries that produce one.
+
+enum class MsgType : std::uint8_t {
+  kQuery = 1,
+  kPing = 2,
+  kMetrics = 3,
+  kResponse = 128,
+};
+
+/// Status byte on the wire. A superset of StatusCode: admission verdicts
+/// are first-class so clients can distinguish "bad request" from
+/// "overloaded, retry later" without parsing message text.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kCorruption = 3,
+  kIoError = 4,
+  kInternal = 5,
+  kUnsupported = 6,
+  kDeadlineExceeded = 7,
+  kThrottled = 8,        ///< per-tenant rate/quota exceeded — RETRY-AFTER
+  kQueueFull = 9,        ///< run queue at depth limit — RETRY-AFTER
+  kBreakerOpen = 10,     ///< backend circuit breaker open — RETRY-AFTER
+  kDraining = 11,        ///< server draining, not accepting work
+  kMalformed = 12,       ///< undecodable request payload
+};
+
+const char* WireStatusName(WireStatus s);
+WireStatus WireStatusFromStatus(const Status& st);
+/// Maps a wire status back to a Status (client side); kOk asserts.
+Status StatusFromWire(WireStatus s, const std::string& message);
+/// True for the verdicts that carry a RETRY-AFTER hint.
+bool IsRetryable(WireStatus s);
+
+struct Request {
+  MsgType type = MsgType::kQuery;
+  std::uint64_t request_id = 0;
+  std::string tenant;         ///< empty = default tenant bucket
+  std::uint32_t deadline_ms = 0;  ///< client budget; 0 = none
+  std::string text;           ///< query dialect text (kQuery only)
+};
+
+struct Response {
+  std::uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::uint32_t retry_after_ms = 0;
+  std::string message;        ///< error text; empty on success
+  std::vector<Neighbor> rows;
+  std::string body;           ///< metrics JSON / explain text
+};
+
+/// Frames may not exceed this (guards the server against garbage or
+/// hostile length prefixes). Shared by both directions.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Serializes `req`/`resp` as a complete frame (length prefix included),
+/// appending to `*out`.
+void EncodeRequest(const Request& req, std::vector<std::uint8_t>* out);
+void EncodeResponse(const Response& resp, std::vector<std::uint8_t>* out);
+
+/// Incremental frame extraction from a receive buffer.
+enum class FrameResult {
+  kNeedMore,  ///< buffer holds a partial frame
+  kReady,     ///< *payload points at one complete frame's payload
+  kTooLarge,  ///< declared length exceeds kMaxFrameBytes — protocol error
+};
+/// On kReady, `*payload` spans the payload bytes inside `buf` and
+/// `*consumed` is the total frame size (prefix + payload) to erase.
+FrameResult ExtractFrame(std::span<const std::uint8_t> buf,
+                         std::span<const std::uint8_t>* payload,
+                         std::size_t* consumed);
+
+/// Decodes a frame payload (after ExtractFrame). Errors are
+/// InvalidArgument with position context.
+Result<Request> DecodeRequest(std::span<const std::uint8_t> payload);
+Result<Response> DecodeResponse(std::span<const std::uint8_t> payload);
+
+}  // namespace vdb::net
+
+#endif  // VDB_NET_PROTOCOL_H_

@@ -8,45 +8,9 @@
 
 #include "core/failpoint.h"
 #include "core/telemetry.h"
+#include "storage/posix_io.h"
 
 namespace vdb {
-
-namespace {
-
-/// pread(2) until `len` bytes arrive, retrying EINTR and short reads.
-/// Returns false only on a real error or premature EOF.
-bool PreadFully(int fd, std::uint8_t* buf, std::size_t len, off_t offset) {
-  std::size_t done = 0;
-  while (done < len) {
-    ssize_t got = ::pread(fd, buf + done, len - done,
-                          offset + static_cast<off_t>(done));
-    if (got < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (got == 0) return false;  // EOF inside a page
-    done += static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-bool PwriteFully(int fd, const std::uint8_t* buf, std::size_t len,
-                 off_t offset) {
-  std::size_t done = 0;
-  while (done < len) {
-    ssize_t put = ::pwrite(fd, buf + done, len - done,
-                           offset + static_cast<off_t>(done));
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (put == 0) return false;
-    done += static_cast<std::size_t>(put);
-  }
-  return true;
-}
-
-}  // namespace
 
 Result<std::unique_ptr<PagedFile>> PagedFile::OpenImpl(
     const std::string& path, const PagedFileOptions& opts, bool truncate) {
@@ -140,11 +104,13 @@ Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
     read_failures.Inc();
     return Status::IoError("injected failure: paged_file.read.fail");
   }
-  if (!PreadFully(fd_, buf, opts_.page_size,
-                  static_cast<off_t>(page_id * opts_.page_size))) {
+  Status read_status =
+      posix_io::PreadFully(fd_, buf, opts_.page_size,
+                           static_cast<off_t>(page_id * opts_.page_size),
+                           ("pread page " + std::to_string(page_id)).c_str());
+  if (!read_status.ok()) {
     read_failures.Inc();
-    return Status::IoError("pread page " + std::to_string(page_id) + ": " +
-                           std::strerror(errno));
+    return read_status;
   }
   ++reads_;
   read_count.Inc();
@@ -168,11 +134,10 @@ Status PagedFile::WritePageLocked(std::uint64_t page_id,
   if (FailpointFires("paged_file.write.fail")) {
     return Status::IoError("injected failure: paged_file.write.fail");
   }
-  if (!PwriteFully(fd_, buf, opts_.page_size,
-                   static_cast<off_t>(page_id * opts_.page_size))) {
-    return Status::IoError("pwrite page " + std::to_string(page_id) + ": " +
-                           std::strerror(errno));
-  }
+  VDB_RETURN_IF_ERROR(posix_io::PwriteFully(
+      fd_, buf, opts_.page_size,
+      static_cast<off_t>(page_id * opts_.page_size),
+      ("pwrite page " + std::to_string(page_id)).c_str()));
   ++writes_;
   static Counter& write_count =
       Registry::Global().GetCounter("vdb_paged_file_writes_total");
@@ -186,11 +151,7 @@ Status PagedFile::Sync() {
   if (FailpointFires("paged_file.sync.fail")) {
     return Status::IoError("injected failure: paged_file.sync.fail");
   }
-  while (::fsync(fd_) != 0) {
-    if (errno == EINTR) continue;
-    return Status::IoError("fsync: " + std::string(std::strerror(errno)));
-  }
-  return Status::Ok();
+  return posix_io::SyncFd(fd_, "paged file fsync");
 }
 
 Result<std::uint64_t> PagedFile::AppendPage(const std::uint8_t* buf) {

@@ -1,0 +1,96 @@
+#include "storage/posix_io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace vdb::posix_io {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status Eof(const char* what) {
+  return Status::IoError(std::string(what) + ": eof");
+}
+
+}  // namespace
+
+Status WriteFully(int fd, const void* data, std::size_t len,
+                  const char* what) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t put = ::write(fd, p + done, len - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    if (put == 0) return Eof(what);
+    done += static_cast<std::size_t>(put);
+  }
+  return Status::Ok();
+}
+
+Status ReadFully(int fd, void* data, std::size_t len, const char* what) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t got = ::read(fd, p + done, len - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    if (got == 0) return Eof(what);
+    done += static_cast<std::size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status PreadFully(int fd, void* data, std::size_t len, off_t offset,
+                  const char* what) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t got = ::pread(fd, p + done, len - done,
+                          offset + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    if (got == 0) return Eof(what);
+    done += static_cast<std::size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Status PwriteFully(int fd, const void* data, std::size_t len, off_t offset,
+                   const char* what) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    ssize_t put = ::pwrite(fd, p + done, len - done,
+                           offset + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    if (put == 0) return Eof(what);
+    done += static_cast<std::size_t>(put);
+  }
+  return Status::Ok();
+}
+
+Status SyncFd(int fd, const char* what) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Errno(what);
+  }
+  return Status::Ok();
+}
+
+}  // namespace vdb::posix_io

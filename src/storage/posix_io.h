@@ -1,0 +1,46 @@
+#ifndef VDB_STORAGE_POSIX_IO_H_
+#define VDB_STORAGE_POSIX_IO_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace vdb::posix_io {
+
+/// EINTR- and short-transfer-safe wrappers over the raw POSIX calls.
+///
+/// Every durability path (WAL, serializer, paged file) and the socket
+/// layer's blocking client share the same two subtle loops: retry the
+/// syscall on EINTR, and keep going after a *short* transfer — the
+/// kernel may legally move fewer bytes than asked (signal, memory
+/// pressure, socket buffers) without reporting any error. These helpers
+/// exist so that loop lives in exactly one place; `what` names the
+/// caller for errno text ("wal write: Interrupted system call").
+///
+/// A transfer of 0 bytes mid-request maps to IoError ("<what>: eof"):
+/// for files it is a truncated read, for sockets a peer close — both
+/// terminal for a caller that needs the full `len`.
+
+/// write(2) until every byte lands.
+Status WriteFully(int fd, const void* data, std::size_t len, const char* what);
+
+/// read(2) until `len` bytes arrive (streams: sockets, pipes).
+Status ReadFully(int fd, void* data, std::size_t len, const char* what);
+
+/// pread(2) of exactly `len` bytes at `offset`.
+Status PreadFully(int fd, void* data, std::size_t len, off_t offset,
+                  const char* what);
+
+/// pwrite(2) of exactly `len` bytes at `offset`.
+Status PwriteFully(int fd, const void* data, std::size_t len, off_t offset,
+                   const char* what);
+
+/// fsync(2), retrying EINTR.
+Status SyncFd(int fd, const char* what);
+
+}  // namespace vdb::posix_io
+
+#endif  // VDB_STORAGE_POSIX_IO_H_

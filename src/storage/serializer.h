@@ -16,6 +16,7 @@
 #include "core/failpoint.h"
 #include "core/status.h"
 #include "core/types.h"
+#include "storage/posix_io.h"
 #include "storage/wal.h"
 
 namespace vdb {
@@ -75,31 +76,13 @@ class BinaryWriter {
       return Status::IoError("open for write: " + tmp + ": " +
                              std::strerror(errno));
     }
-    std::size_t done = 0;
-    while (done < full.size()) {
-      ssize_t put = ::write(fd, full.data() + done, full.size() - done);
-      if (put < 0) {
-        if (errno == EINTR) continue;
-        Status st = Status::IoError("write failed: " + tmp + ": " +
-                                    std::strerror(errno));
-        ::close(fd);
-        ::unlink(tmp.c_str());
-        return st;
-      }
-      if (put == 0) {
-        ::close(fd);
-        ::unlink(tmp.c_str());
-        return Status::IoError("write returned 0 bytes: " + tmp);
-      }
-      done += static_cast<std::size_t>(put);
-    }
-    while (::fsync(fd) != 0) {
-      if (errno == EINTR) continue;
-      Status st =
-          Status::IoError("fsync failed: " + tmp + ": " + std::strerror(errno));
+    Status io = posix_io::WriteFully(fd, full.data(), full.size(),
+                                     ("write " + tmp).c_str());
+    if (io.ok()) io = posix_io::SyncFd(fd, ("fsync " + tmp).c_str());
+    if (!io.ok()) {
       ::close(fd);
       ::unlink(tmp.c_str());
-      return st;
+      return io;
     }
     ::close(fd);
     FailpointCrashSite("crash.serializer.tmp_written");

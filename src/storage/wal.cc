@@ -10,6 +10,7 @@
 
 #include "core/failpoint.h"
 #include "core/telemetry.h"
+#include "storage/posix_io.h"
 
 namespace vdb {
 
@@ -22,21 +23,10 @@ std::string ErrnoText(const char* op) {
   return std::string(op) + ": " + std::strerror(errno);
 }
 
-/// write(2) until every byte lands, retrying EINTR and short writes.
-/// A short write here is *not* a failure — the kernel may accept fewer
-/// bytes than asked (signal, memory pressure) without any error.
+/// Short-write/EINTR handling lives in posix_io (shared with the paged
+/// file, the serializer, and the network client).
 Status WriteFully(int fd, const std::uint8_t* data, std::size_t len) {
-  std::size_t done = 0;
-  while (done < len) {
-    ssize_t put = ::write(fd, data + done, len - done);
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(ErrnoText("wal write"));
-    }
-    if (put == 0) return Status::IoError("wal write returned 0 bytes");
-    done += static_cast<std::size_t>(put);
-  }
-  return Status::Ok();
+  return posix_io::WriteFully(fd, data, len, "wal write");
 }
 
 void PutU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
@@ -247,10 +237,10 @@ Status Wal::Sync() {
     failures.Inc();
     return Status::IoError("injected failure: wal.sync.fail");
   }
-  while (::fsync(fd_) != 0) {
-    if (errno == EINTR) continue;
+  Status synced = posix_io::SyncFd(fd_, "wal fsync");
+  if (!synced.ok()) {
     failures.Inc();
-    return Status::IoError(ErrnoText("wal fsync"));
+    return synced;
   }
   FailpointCrashSite("crash.wal.synced");
   return Status::Ok();
@@ -374,11 +364,7 @@ Status Wal::TruncateTo(const std::string& path, std::size_t valid_bytes) {
   if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
     status = Status::IoError(ErrnoText("wal ftruncate"));
   } else {
-    while (::fsync(fd) != 0) {
-      if (errno == EINTR) continue;
-      status = Status::IoError(ErrnoText("wal fsync after truncate"));
-      break;
-    }
+    status = posix_io::SyncFd(fd, "wal fsync after truncate");
   }
   ::close(fd);
   return status;

@@ -1,0 +1,561 @@
+// Serving-layer tests (DESIGN.md §10): wire protocol round-trips and
+// framing edges, admission control (token-bucket refill, in-flight
+// quotas, queue depth, circuit breaker) against an injected clock, and
+// end-to-end server behavior — deadline-expired-in-queue cancellation,
+// RETRY-AFTER shedding, graceful drain, fd hygiene, short-I/O torture.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "core/synthetic.h"
+#include "core/telemetry.h"
+#include "db/database.h"
+#include "db/query_language.h"
+#include "index/hnsw.h"
+#include "net/admission.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace vdb::net {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+// ------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, QueryRequestRoundTrip) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.request_id = 0xdeadbeefcafe;
+  req.tenant = "team-a";
+  req.deadline_ms = 250;
+  req.text = "SELECT knn(3) FROM c ORDER BY distance([1, 2])";
+
+  std::vector<std::uint8_t> wire;
+  EncodeRequest(req, &wire);
+
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  EXPECT_EQ(consumed, wire.size());
+
+  auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, MsgType::kQuery);
+  EXPECT_EQ(decoded->request_id, req.request_id);
+  EXPECT_EQ(decoded->tenant, req.tenant);
+  EXPECT_EQ(decoded->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(decoded->text, req.text);
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithRows) {
+  Response resp;
+  resp.request_id = 7;
+  resp.status = WireStatus::kOk;
+  resp.rows = {{11, 0.25f}, {42, 1.5f}};
+  resp.body = "explain text";
+
+  std::vector<std::uint8_t> wire;
+  EncodeResponse(resp, &wire);
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+
+  auto decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 7u);
+  ASSERT_EQ(decoded->rows.size(), 2u);
+  EXPECT_EQ(decoded->rows[0].id, 11u);
+  EXPECT_FLOAT_EQ(decoded->rows[1].dist, 1.5f);
+  EXPECT_EQ(decoded->body, "explain text");
+}
+
+TEST(ProtocolTest, ShedResponseCarriesRetryAfter) {
+  Response resp;
+  resp.request_id = 9;
+  resp.status = WireStatus::kThrottled;
+  resp.retry_after_ms = 120;
+  resp.message = "tenant rate exceeded";
+
+  std::vector<std::uint8_t> wire;
+  EncodeResponse(resp, &wire);
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  auto decoded = DecodeResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status, WireStatus::kThrottled);
+  EXPECT_EQ(decoded->retry_after_ms, 120u);
+  EXPECT_TRUE(IsRetryable(decoded->status));
+  EXPECT_FALSE(IsRetryable(WireStatus::kInvalidArgument));
+}
+
+TEST(ProtocolTest, PartialFramesNeedMore) {
+  Request req;
+  req.type = MsgType::kPing;
+  req.request_id = 3;
+  std::vector<std::uint8_t> wire;
+  EncodeRequest(req, &wire);
+
+  // Feed byte-at-a-time: every prefix short of the full frame must be
+  // kNeedMore (the re-entry path the net.read.short failpoint tortures).
+  for (std::size_t n = 0; n + 1 < wire.size(); ++n) {
+    std::span<const std::uint8_t> payload;
+    std::size_t consumed = 0;
+    EXPECT_EQ(ExtractFrame({wire.data(), n}, &payload, &consumed),
+              FrameResult::kNeedMore)
+        << "prefix " << n;
+  }
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+}
+
+TEST(ProtocolTest, OversizeFrameRejected) {
+  // A hostile length prefix must be rejected before any allocation.
+  std::vector<std::uint8_t> wire = {0xff, 0xff, 0xff, 0xff};
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  EXPECT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kTooLarge);
+}
+
+TEST(ProtocolTest, TruncatedPayloadFailsDecode) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.tenant = "t";
+  req.text = "q";
+  std::vector<std::uint8_t> wire;
+  EncodeRequest(req, &wire);
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  // Chop bytes off the payload: decode must error, never read past end.
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    auto decoded = DecodeRequest(payload.subspan(0, n));
+    EXPECT_FALSE(decoded.ok()) << "truncated at " << n;
+  }
+}
+
+TEST(ProtocolTest, WireStatusMapsStatusCodes) {
+  EXPECT_EQ(WireStatusFromStatus(Status::DeadlineExceeded("x")),
+            WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(WireStatusFromStatus(Status::NotFound("x")),
+            WireStatus::kNotFound);
+  Status back = StatusFromWire(WireStatus::kThrottled, "m");
+  EXPECT_EQ(back.code(), StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------------ admission
+
+AdmissionOptions SmallQuota() {
+  AdmissionOptions opts;
+  opts.default_quota.tokens_per_sec = 10.0;
+  opts.default_quota.burst = 2.0;
+  opts.default_quota.max_in_flight = 2;
+  opts.max_queue_depth = 4;
+  opts.breaker_threshold = 3;
+  opts.breaker_cooldown_ms = 100;
+  opts.retry_after_floor_ms = 10;
+  return opts;
+}
+
+TEST(AdmissionTest, BurstThenThrottleWithRetryAfter) {
+  AdmissionController ac(SmallQuota());
+  auto t0 = Clock::now();
+  // burst=2: exactly two admits, then a throttle with a computed hint.
+  EXPECT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("t", true, t0);
+  EXPECT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("t", true, t0);
+  AdmitDecision d = ac.TryAdmit("t", t0);
+  EXPECT_EQ(d.verdict, AdmitVerdict::kThrottled);
+  // Need 1 token at 10/s => 100ms; hint must cover it (>= floor too).
+  EXPECT_GE(d.retry_after_ms, 100u);
+}
+
+TEST(AdmissionTest, RefillRestoresTokensButCapsAtBurst) {
+  AdmissionController ac(SmallQuota());
+  auto t0 = Clock::now();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+    ac.OnStart();
+    ac.OnComplete("t", true, t0);
+  }
+  ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kThrottled);
+
+  // 100ms at 10 tokens/s refills exactly the 1 token needed.
+  auto t1 = t0 + milliseconds(100);
+  EXPECT_EQ(ac.TryAdmit("t", t1).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("t", true, t1);
+
+  // A long idle period must cap at burst=2, not accumulate unboundedly.
+  auto t2 = t1 + std::chrono::hours(1);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(ac.TryAdmit("t", t2).verdict, AdmitVerdict::kAdmit) << i;
+    ac.OnStart();
+    ac.OnComplete("t", true, t2);
+  }
+  EXPECT_EQ(ac.TryAdmit("t", t2).verdict, AdmitVerdict::kThrottled);
+}
+
+TEST(AdmissionTest, RetryAfterNeverBelowFloor) {
+  AdmissionOptions opts = SmallQuota();
+  opts.default_quota.tokens_per_sec = 1e6;  // refill wait rounds to ~0ms
+  opts.default_quota.burst = 1.0;
+  AdmissionController ac(opts);
+  auto t0 = Clock::now();
+  ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("t", true, t0);
+  AdmitDecision d = ac.TryAdmit("t", t0);
+  ASSERT_EQ(d.verdict, AdmitVerdict::kThrottled);
+  EXPECT_GE(d.retry_after_ms, opts.retry_after_floor_ms);
+}
+
+TEST(AdmissionTest, InFlightQuotaIndependentOfTokens) {
+  AdmissionOptions opts = SmallQuota();
+  opts.default_quota.tokens_per_sec = 1e6;
+  opts.default_quota.burst = 100.0;
+  AdmissionController ac(opts);
+  auto t0 = Clock::now();
+  // max_in_flight=2: a third concurrent request is throttled even with
+  // plenty of tokens; completing one readmits.
+  ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+  ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+  EXPECT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kThrottled);
+  ac.OnStart();
+  ac.OnComplete("t", true, t0);
+  EXPECT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+}
+
+TEST(AdmissionTest, TenantsAreIsolated) {
+  AdmissionController ac(SmallQuota());
+  auto t0 = Clock::now();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(ac.TryAdmit("noisy", t0).verdict, AdmitVerdict::kAdmit);
+    ac.OnStart();
+    ac.OnComplete("noisy", true, t0);
+  }
+  ASSERT_EQ(ac.TryAdmit("noisy", t0).verdict, AdmitVerdict::kThrottled);
+  // The noisy neighbor's empty bucket must not affect another tenant.
+  EXPECT_EQ(ac.TryAdmit("quiet", t0).verdict, AdmitVerdict::kAdmit);
+}
+
+TEST(AdmissionTest, QueueDepthSheds) {
+  AdmissionOptions opts = SmallQuota();
+  opts.default_quota.tokens_per_sec = 1e6;
+  opts.default_quota.burst = 100.0;
+  opts.default_quota.max_in_flight = 100;
+  opts.max_queue_depth = 4;
+  AdmissionController ac(opts);
+  auto t0 = Clock::now();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit) << i;
+  }
+  AdmitDecision d = ac.TryAdmit("t", t0);
+  EXPECT_EQ(d.verdict, AdmitVerdict::kQueueFull);
+  EXPECT_GE(d.retry_after_ms, opts.retry_after_floor_ms);
+  // A worker picking one job up frees a queue slot.
+  ac.OnStart();
+  EXPECT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+}
+
+TEST(AdmissionTest, BreakerTripsOnBackendFailuresOnly) {
+  AdmissionOptions opts = SmallQuota();  // threshold 3, cooldown 100ms
+  opts.default_quota.tokens_per_sec = 1e6;
+  opts.default_quota.burst = 1e6;
+  AdmissionController ac(opts);
+  auto t0 = Clock::now();
+
+  // Healthy completions (including client-visible errors like a bad
+  // query — those report backend_healthy=true) never trip the breaker.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+    ac.OnStart();
+    ac.OnComplete("t", /*backend_healthy=*/true, t0);
+  }
+  EXPECT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("t", true, t0);
+
+  // Three consecutive backend failures: open, with a cooldown hint.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit) << i;
+    ac.OnStart();
+    ac.OnComplete("t", /*backend_healthy=*/false, t0);
+  }
+  AdmitDecision d = ac.TryAdmit("t", t0);
+  EXPECT_EQ(d.verdict, AdmitVerdict::kBreakerOpen);
+  EXPECT_GT(d.retry_after_ms, 0u);
+  EXPECT_LE(d.retry_after_ms, opts.breaker_cooldown_ms);
+
+  // Half-open after the cooldown: traffic flows again.
+  auto t1 = t0 + milliseconds(opts.breaker_cooldown_ms + 1);
+  EXPECT_EQ(ac.TryAdmit("t", t1).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("t", true, t1);
+}
+
+TEST(AdmissionTest, DrainRejectsEverything) {
+  AdmissionController ac(SmallQuota());
+  auto t0 = Clock::now();
+  ac.BeginDrain();
+  AdmitDecision d = ac.TryAdmit("t", t0);
+  EXPECT_EQ(d.verdict, AdmitVerdict::kDraining);
+  // No retry hint: the process is going away, re-sending here is wrong.
+  EXPECT_EQ(d.retry_after_ms, 0u);
+}
+
+// ----------------------------------------------------------- end-to-end
+
+std::size_t OpenFdCount() {
+  std::size_t n = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (!dir) return 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CollectionOptions opts;
+    opts.dim = 4;
+    opts.index_factory = [] {
+      HnswOptions hnsw;
+      hnsw.m = 8;
+      return std::make_unique<HnswIndex>(hnsw);
+    };
+    auto created = db_.CreateCollection("c", opts);
+    ASSERT_TRUE(created.ok());
+    FloatMatrix data = GaussianClusters({64, 4, 4, 11, 0.2f});
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      ASSERT_TRUE((*created)->Insert(i, data.row_view(i), {}).ok());
+    }
+    ASSERT_TRUE((*created)->BuildIndex().ok());
+  }
+
+  std::unique_ptr<Server> StartServer(ServerOptions opts = {}) {
+    auto started = Server::Start(&db_, std::move(opts));
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    return started.ok() ? std::move(*started) : nullptr;
+  }
+
+  static constexpr const char* kQuery =
+      "SELECT knn(3) FROM c ORDER BY distance([0.1, 0.2, 0.3, 0.4])";
+
+  Database db_;
+};
+
+TEST_F(ServerTest, PingQueryMetrics) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto ping = (*client)->Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->status, WireStatus::kOk);
+
+  auto query = (*client)->Query(kQuery, "t", 0);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->status, WireStatus::kOk);
+  EXPECT_EQ(query->rows.size(), 3u);
+
+  auto metrics = (*client)->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("vdb_server_admitted_total"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, BadQueryIsClientErrorNotDisconnect) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  auto bad = (*client)->Query("SELECT nonsense", "t", 0);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad->status, WireStatus::kInvalidArgument);
+  EXPECT_FALSE(bad->message.empty());
+  // The connection survives a bad query.
+  auto good = (*client)->Query(kQuery, "t", 0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->status, WireStatus::kOk);
+}
+
+TEST_F(ServerTest, DeadlineExpiredInQueueIsCancelledNotComputed) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  auto server = StartServer(std::move(opts));
+  ASSERT_NE(server, nullptr);
+
+  auto& reg = Registry::Global();
+  std::uint64_t expired_before =
+      reg.GetCounter("vdb_server_deadline_expired_total").Value();
+
+  // The lone worker stalls 150ms before looking at each job, so a 20ms
+  // budget is guaranteed to be gone by the time the job is picked up.
+  ScopedFailpoint stall("net.worker.stall", "delay:150");
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  auto resp = (*client)->Query(kQuery, "t", 20);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(resp->rows.size(), 0u);  // cancelled, not computed
+  EXPECT_GE(reg.GetCounter("vdb_server_deadline_expired_total").Value(),
+            expired_before + 1);
+}
+
+TEST_F(ServerTest, ThrottledEndToEndCarriesRetryAfter) {
+  ServerOptions opts;
+  opts.admission.default_quota.tokens_per_sec = 5.0;
+  opts.admission.default_quota.burst = 1.0;
+  auto server = StartServer(std::move(opts));
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+
+  auto first = (*client)->Query(kQuery, "t", 0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, WireStatus::kOk);
+  auto second = (*client)->Query(kQuery, "t", 0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, WireStatus::kThrottled);
+  EXPECT_GT(second->retry_after_ms, 0u);
+}
+
+TEST_F(ServerTest, DrainRejectsNewWorkThenExitsClean) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Ping().ok());
+
+  server->RequestDrain();
+  // The already-open connection gets explicit DRAINING verdicts while
+  // the drain completes (never a hang or silent close).
+  auto resp = (*client)->Query(kQuery, "t", 0);
+  if (resp.ok()) {
+    EXPECT_EQ(resp->status, WireStatus::kDraining);
+  }  // else: drain finished first and closed the socket — also legal
+
+  DrainReport report = server->Shutdown();
+  EXPECT_TRUE(report.clean);
+  EXPECT_EQ(report.aborted_requests, 0u);
+  EXPECT_LT(report.seconds, 5.0);
+}
+
+TEST_F(ServerTest, ShortIoFailpointsDoNotCorruptFrames) {
+  // 1-byte reads/writes plus injected EINTR on every syscall: the
+  // framing layer must still deliver intact request/response pairs.
+  ScopedFailpoint short_read("net.read.short");
+  ScopedFailpoint short_write("net.write.short");
+  ScopedFailpoint eintr_read("net.read.eintr");
+  ScopedFailpoint eintr_write("net.write.eintr");
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto resp = (*client)->Query(kQuery, "t", 0);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, WireStatus::kOk);
+    EXPECT_EQ(resp->rows.size(), 3u);
+  }
+}
+
+TEST_F(ServerTest, NoFdLeakAcrossConnectionChurn) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto& conn_gauge = Registry::Global().GetGauge("vdb_server_connections");
+
+  // Warm up (epoll/eventfd/listener are steady-state).
+  {
+    auto c = Client::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE((*c)->Ping().ok());
+  }
+  auto wait_conns = [&](std::int64_t want) {
+    for (int i = 0; i < 200 && conn_gauge.Value() != want; ++i) {
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+    return conn_gauge.Value();
+  };
+  ASSERT_EQ(wait_conns(0), 0);
+
+  std::size_t fds_before = OpenFdCount();
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::unique_ptr<Client>> clients;
+    for (int i = 0; i < 16; ++i) {
+      auto c = Client::Connect("127.0.0.1", server->port());
+      ASSERT_TRUE(c.ok());
+      clients.push_back(std::move(*c));
+    }
+    for (auto& c : clients) {
+      auto resp = c->Query(kQuery, "t", 0);
+      ASSERT_TRUE(resp.ok());
+    }
+    clients.clear();  // closes 16 sockets
+    ASSERT_EQ(wait_conns(0), 0) << "server did not reap closed conns";
+  }
+  std::size_t fds_after = OpenFdCount();
+  EXPECT_EQ(fds_before, fds_after) << "fd leak across connection churn";
+}
+
+TEST_F(ServerTest, AdmissionVerdictsAreAccounted) {
+  // Conservation: every query request is exactly one of admitted /
+  // throttled / queue-full / breaker / draining — the soak invariant.
+  auto& reg = Registry::Global();
+  auto snapshot = [&] {
+    return std::vector<std::uint64_t>{
+        reg.GetCounter("vdb_server_query_requests_total").Value(),
+        reg.GetCounter("vdb_server_admitted_total").Value(),
+        reg.GetCounter("vdb_server_throttled_total").Value(),
+        reg.GetCounter("vdb_server_shed_queue_full_total").Value(),
+        reg.GetCounter("vdb_server_breaker_rejected_total").Value(),
+        reg.GetCounter("vdb_server_rejected_draining_total").Value(),
+    };
+  };
+  auto before = snapshot();
+
+  ServerOptions opts;
+  opts.admission.default_quota.tokens_per_sec = 50.0;
+  opts.admission.default_quota.burst = 4.0;
+  auto server = StartServer(std::move(opts));
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = (*client)->Query(kQuery, "t", 0);
+    ASSERT_TRUE(resp.ok());
+  }
+  server->RequestDrain();
+  (void)server->Shutdown();
+
+  auto after = snapshot();
+  std::uint64_t requests = after[0] - before[0];
+  std::uint64_t verdicts = 0;
+  for (std::size_t i = 1; i < after.size(); ++i) {
+    verdicts += after[i] - before[i];
+  }
+  EXPECT_EQ(requests, 20u);
+  EXPECT_EQ(verdicts, requests);
+}
+
+}  // namespace
+}  // namespace vdb::net

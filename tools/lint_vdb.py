@@ -15,6 +15,13 @@ pass --root):
      confined to src/storage/ — every other layer must go through the
      storage abstractions so failpoints and short-write handling stay
      on every durability path.
+  4. Raw network I/O (socket/epoll/recv/send syscalls) is confined to
+     src/net/ — the serving layer owns every socket, so its failpoint
+     sites and vdb_server_* accounting cannot be bypassed.
+  5. Subsystem prefix ownership: `net.*` failpoints and `vdb_server_*`
+     metrics may only be compiled under src/net/, and src/net/ may only
+     register names under those prefixes — the serving subsystem's
+     observable surface stays in one place.
 
 Exit status 0 when clean; 1 with one "file:line: message" per violation
 otherwise. Run by the `lint` CI job and locally via
@@ -32,10 +39,19 @@ FAILPOINT_CALL = re.compile(
 METRIC_CALL = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)")
 METRIC_NAME = re.compile(r"^vdb_[a-z0-9_]+$")
 RAW_IO = re.compile(r"(::write\s*\(|\b(?:fsync|fdatasync|pwrite)\s*\()")
+NET_IO = re.compile(
+    r"::(?:socket|bind|listen|accept4?|connect|recv|send|"
+    r"epoll_(?:create1|ctl|wait)|eventfd(?:_read|_write)?)\s*\(")
 
 # Files allowed to issue raw durability syscalls. core/failpoint.cc uses
 # only _exit (not matched); everything else routes through storage/.
 RAW_IO_ALLOWED_PREFIX = "src/storage/"
+# Files allowed to issue socket/epoll syscalls.
+NET_IO_ALLOWED_PREFIX = "src/net/"
+
+# Subsystem prefix ownership (invariant 5): name prefix <-> source dir.
+FAILPOINT_OWNERS = {"net.": "src/net/"}
+METRIC_OWNERS = {"vdb_server_": "src/net/"}
 
 
 def strip_comments(text):
@@ -105,7 +121,21 @@ def check_failpoints(root, errors):
             f, l = locs[0]
             errors.append(f"{f}:{l}: failpoint '{name}' is not documented "
                           f"in DESIGN.md §5 site inventory")
+        for f, l in locs:
+            check_prefix_ownership(FAILPOINT_OWNERS, "failpoint", name,
+                                   f, l, errors)
     return sites
+
+
+def check_prefix_ownership(owners, what, name, f, l, errors):
+    rel = Path(f).as_posix()
+    for prefix, owner_dir in owners.items():
+        if name.startswith(prefix) and not rel.startswith(owner_dir):
+            errors.append(f"{f}:{l}: {what} '{name}' uses the '{prefix}' "
+                          f"prefix owned by {owner_dir}")
+        if rel.startswith(owner_dir) and not name.startswith(prefix):
+            errors.append(f"{f}:{l}: {what} '{name}' in {owner_dir} must "
+                          f"use the '{prefix}' prefix")
 
 
 def check_telemetry(root, errors):
@@ -121,6 +151,8 @@ def check_telemetry(root, errors):
             if not METRIC_NAME.match(base):
                 errors.append(f"{loc[0]}:{loc[1]}: metric '{base}' violates "
                               f"naming scheme vdb_<subsystem>_<what>")
+            check_prefix_ownership(METRIC_OWNERS, "metric", base,
+                                   loc[0], loc[1], errors)
     for base, by_kind in sorted(kinds.items()):
         if len(by_kind) > 1:
             detail = "; ".join(
@@ -140,14 +172,21 @@ def check_telemetry(root, errors):
 def check_raw_io(root, errors):
     for path in source_files(root):
         rel = path.relative_to(root).as_posix()
-        if rel.startswith(RAW_IO_ALLOWED_PREFIX):
-            continue
         text = strip_comments(path.read_text())
-        for m in RAW_IO.finditer(text):
-            line = text.count("\n", 0, m.start()) + 1
-            errors.append(f"{rel}:{line}: raw durability I/O "
-                          f"('{m.group(0).strip()}...') outside "
-                          f"{RAW_IO_ALLOWED_PREFIX} — use the storage layer")
+        if not rel.startswith(RAW_IO_ALLOWED_PREFIX):
+            for m in RAW_IO.finditer(text):
+                line = text.count("\n", 0, m.start()) + 1
+                errors.append(f"{rel}:{line}: raw durability I/O "
+                              f"('{m.group(0).strip()}...') outside "
+                              f"{RAW_IO_ALLOWED_PREFIX} — use the storage "
+                              f"layer")
+        if not rel.startswith(NET_IO_ALLOWED_PREFIX):
+            for m in NET_IO.finditer(text):
+                line = text.count("\n", 0, m.start()) + 1
+                errors.append(f"{rel}:{line}: raw network I/O "
+                              f"('{m.group(0).strip()}...') outside "
+                              f"{NET_IO_ALLOWED_PREFIX} — go through the "
+                              f"serving layer")
 
 
 def main():
