@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -108,11 +109,33 @@ inline LatencySummary Summarize(const std::vector<double>& samples) {
 // ------------------------------------------------- machine-readable output
 //
 // Every bench binary can emit its result table as JSON (`--json PATH`)
-// so BENCH_*.json perf trajectories accumulate across revisions.
+// so BENCH_*.json perf trajectories accumulate across revisions and
+// `tools/bench_gate.py` can diff a fresh run against the committed
+// baseline.
+
+/// Bump when the report envelope changes shape; bench_gate refuses to
+/// compare reports across schema versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Revision stamp for a report: the VDB_GIT_REV environment variable
+/// (CI sets it) wins over the compile-time VDB_GIT_REV macro (CMake
+/// bakes in `git rev-parse --short HEAD` at configure time); "unknown"
+/// when neither is available (e.g. a tarball build).
+inline std::string GitRev() {
+  if (const char* env = std::getenv("VDB_GIT_REV"); env && *env) return env;
+#ifdef VDB_GIT_REV
+  return VDB_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
 
 /// Minimal row-oriented JSON writer:
-/// {"bench":"E1","rows":[{"k":v,...},...]}. Rows are built field by
-/// field; numeric and string values only, which covers bench tables.
+/// {"schema_version":1,"git_rev":"abc1234","bench":"E1",
+///  "rows":[{"k":v,...},...]}. Rows are built field by field; numeric
+/// and string values only, which covers bench tables. String-valued
+/// fields double as the row identity bench_gate matches baseline rows
+/// by, so keep them stable across runs (configuration, not measurement).
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
@@ -131,7 +154,10 @@ class JsonReport {
 
   /// Serializes to `path`; returns false (with a stderr note) on failure.
   bool WriteTo(const std::string& path) const {
-    std::string out = "{\"bench\":\"" + Escape(name_) + "\",\"rows\":[";
+    std::string out = "{\"schema_version\":" +
+                      std::to_string(kBenchSchemaVersion) + ",\"git_rev\":\"" +
+                      Escape(GitRev()) + "\",\"bench\":\"" + Escape(name_) +
+                      "\",\"rows\":[";
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       if (r) out += ",";
       out += "{";

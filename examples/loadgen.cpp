@@ -11,20 +11,23 @@
 //   loadgen --port P [--host H]  drives an external server (vdbsh .serve)
 //
 // Knobs: --conns N (threads), --requests N (per thread), --tenants N,
-// --deadline-ms B (0 = none), --json PATH (machine-readable summary —
-// CI tracks this as the BENCH_serving.json artifact).
+// --deadline-ms B (0 = none), --json PATH (machine-readable summary in
+// the bench JsonReport schema — CI tracks this as the BENCH_serving.json
+// artifact and tools/bench_gate.py diffs it against the committed
+// baseline), --trace (after the run, send one wire-traced query and
+// print the server-side span tree it returns).
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/synthetic.h"
 #include "core/telemetry.h"
 #include "db/database.h"
@@ -46,6 +49,7 @@ struct Options {
   std::size_t tenants = 2;
   std::uint32_t deadline_ms = 1000;
   std::string json_path;
+  bool trace = false;
 };
 
 struct Tally {
@@ -150,11 +154,12 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--tenants")) opts.tenants = std::max<std::size_t>(1, std::strtoul(next("--tenants"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--deadline-ms")) opts.deadline_ms = static_cast<std::uint32_t>(std::strtoul(next("--deadline-ms"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--json")) opts.json_path = next("--json");
+    else if (!std::strcmp(argv[i], "--trace")) opts.trace = true;
     else {
       std::fprintf(stderr,
                    "usage: loadgen [--host H] [--port P] [--conns N] "
                    "[--requests N] [--tenants N] [--deadline-ms B] "
-                   "[--json PATH]\n");
+                   "[--json PATH] [--trace]\n");
       return 2;
     }
   }
@@ -210,6 +215,30 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  if (opts.trace) {
+    // One wire-traced request after the run: the trace flag in the query
+    // frame makes the server attach its span tree + per-stage latency
+    // attribution to the response (remote EXPLAIN ANALYZE).
+    auto client = net::Client::Connect(opts.host, port);
+    if (client.ok()) {
+      auto resp = (*client)->Query(query_pool[0], "loadgen-trace",
+                                   opts.deadline_ms, /*trace=*/true);
+      if (resp.ok() && resp->status == net::WireStatus::kOk) {
+        std::printf("--- traced query (server-side span tree) ---\n%s%s",
+                    resp->body.c_str(),
+                    resp->body.empty() || resp->body.back() == '\n' ? ""
+                                                                    : "\n");
+      } else {
+        std::printf("traced query failed: %s\n",
+                    resp.ok() ? resp->message.c_str()
+                              : resp.status().ToString().c_str());
+      }
+    } else {
+      std::printf("traced query connect failed: %s\n",
+                  client.status().ToString().c_str());
+    }
+  }
+
   net::DrainReport drain;
   bool drained = false;
   if (server) {
@@ -243,35 +272,37 @@ int main(int argc, char** argv) {
   }
 
   if (!opts.json_path.empty()) {
-    std::ofstream out(opts.json_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
-    }
-    char buf[1024];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\"bench\":\"serving\",\"conns\":%zu,\"requests\":%zu,"
-        "\"ok\":%zu,\"throttled\":%zu,\"queue_full\":%zu,"
-        "\"breaker_open\":%zu,\"draining\":%zu,\"deadline_exceeded\":%zu,"
-        "\"query_errors\":%zu,\"transport_errors\":%zu,"
-        "\"elapsed_seconds\":%.4f,\"qps\":%.1f,"
-        "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
-        "\"retry_after_ms_max\":%u",
-        opts.conns, opts.requests, tally.ok, tally.throttled, tally.queue_full,
-        tally.breaker_open, tally.draining, tally.deadline_exceeded,
-        tally.query_errors, tally.transport_errors, elapsed, qps, p50, p95,
-        p99, tally.retry_after_ms_max);
-    out << buf;
+    // Same JsonReport envelope + flat percentile fields as the E-series
+    // benches, so tools/bench_gate.py consumes BENCH_serving.json and
+    // BENCH_recall_qps.json uniformly.
+    bench::JsonReport report("serving");
+    report.BeginRow();
+    report.Field("workload", std::string("closed-loop"));
+    report.Field("conns", static_cast<double>(opts.conns));
+    report.Field("requests", static_cast<double>(opts.requests));
+    report.Field("ok", static_cast<double>(tally.ok));
+    report.Field("throttled", static_cast<double>(tally.throttled));
+    report.Field("queue_full", static_cast<double>(tally.queue_full));
+    report.Field("breaker_open", static_cast<double>(tally.breaker_open));
+    report.Field("draining", static_cast<double>(tally.draining));
+    report.Field("deadline_exceeded",
+                 static_cast<double>(tally.deadline_exceeded));
+    report.Field("query_errors", static_cast<double>(tally.query_errors));
+    report.Field("transport_errors",
+                 static_cast<double>(tally.transport_errors));
+    report.Field("elapsed_seconds", elapsed);
+    report.Field("qps", qps);
+    report.Field("lat_ms_p50", p50);
+    report.Field("lat_ms_p95", p95);
+    report.Field("lat_ms_p99", p99);
+    report.Field("retry_after_ms_max",
+                 static_cast<double>(tally.retry_after_ms_max));
     if (drained) {
-      std::snprintf(buf, sizeof(buf),
-                    ",\"drain\":{\"clean\":%s,\"seconds\":%.4f,"
-                    "\"aborted\":%zu}",
-                    drain.clean ? "true" : "false", drain.seconds,
-                    drain.aborted_requests);
-      out << buf;
+      report.Field("drain_clean", drain.clean ? 1.0 : 0.0);
+      report.Field("drain_seconds", drain.seconds);
+      report.Field("drain_aborted", static_cast<double>(drain.aborted_requests));
     }
-    out << "}\n";
+    if (!report.WriteTo(opts.json_path)) return 1;
     std::printf("summary written to %s\n", opts.json_path.c_str());
   }
 

@@ -10,7 +10,11 @@
 // in a RecoveryManager data directory (append `quarantine` to move
 // corrupt files aside); `.serve [port]` turns the shell into a network
 // query server over the DESIGN.md §10 wire protocol (SIGTERM/SIGINT
-// triggers a graceful drain, then the process exits 0 on a clean drain).
+// triggers a graceful drain, then the process exits 0 on a clean drain);
+// `.top <port> [host]` attaches to a live `.serve` and renders its stats
+// frame — windowed qps/tail latency, verdict mix, per-tenant shed rates,
+// and the flight recorder's current worst queries — refreshing in place
+// like top(1).
 //
 // Commands may also be given on the command line (`vdbsh .serve 7070`).
 // With no stdin input (e.g. under ctest) it runs a canned demo script.
@@ -18,21 +22,27 @@
 //   echo "SELECT knn(3) FROM products WHERE price < 50.0 ORDER BY
 //         distance([...])" | ./build/examples/vdbsh
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/synthetic.h"
 #include "core/telemetry.h"
+#include "core/telemetry_window.h"
 #include "db/database.h"
 #include "db/query_language.h"
 #include "db/scrubber.h"
 #include "index/hnsw.h"
+#include "net/client.h"
 #include "net/server.h"
 
 #include "example_util.h"
@@ -46,6 +56,106 @@ std::atomic<vdb::net::Server*> g_server{nullptr};
 extern "C" void HandleDrainSignal(int) {
   vdb::net::Server* server = g_server.load(std::memory_order_acquire);
   if (server != nullptr) server->RequestDrain();
+}
+
+/// One `.top` dashboard frame from a stats-frame JSON body (DESIGN.md
+/// §7.4). Scans with the example_util helpers rather than a parser — the
+/// shape is ours.
+void RenderTopFrame(const std::string& body) {
+  std::printf("uptime %.1fs\n\n", vdb::JsonNumber(body, "uptime_seconds"));
+  std::printf("%-8s %10s %10s %10s %10s %10s\n", "window", "requests", "qps",
+              "p50_ms", "p95_ms", "p99_ms");
+  std::string windows = vdb::JsonObjectAfter(body, "windows");
+  for (const char* w : {"10s", "60s"}) {
+    std::string win = vdb::JsonObjectAfter(windows, w);
+    std::printf("%-8s %10.0f %10.1f %10.3f %10.3f %10.3f\n", w,
+                vdb::JsonNumber(win, "requests"), vdb::JsonNumber(win, "qps"),
+                vdb::JsonNumber(win, "p50_ms"), vdb::JsonNumber(win, "p95_ms"),
+                vdb::JsonNumber(win, "p99_ms"));
+  }
+
+  const char* verdict_keys[] = {"admitted",   "throttled", "queue_full",
+                                "breaker",    "draining",  "deadline_expired"};
+  for (const char* scope : {"verdicts_10s", "lifetime"}) {
+    std::string block = vdb::JsonObjectAfter(body, scope);
+    std::printf("\n%s:", scope);
+    for (const char* key : verdict_keys) {
+      std::printf(" %s=%.0f", key, vdb::JsonNumber(block, key));
+    }
+    std::printf("\n");
+  }
+
+  std::string tenants = vdb::JsonObjectAfter(body, "tenants");
+  auto tenant_items = vdb::JsonArrayItems(tenants);
+  if (!tenant_items.empty()) {
+    std::printf("\n%-16s %10s %10s %10s %14s\n", "tenant", "admitted", "shed",
+                "in_flight", "shed_rate_10s");
+    for (const auto& t : tenant_items) {
+      std::string name = vdb::JsonString(t, "tenant");
+      if (name.empty()) name = "(default)";
+      std::printf("%-16s %10.0f %10.0f %10.0f %14.2f\n", name.c_str(),
+                  vdb::JsonNumber(t, "admitted"), vdb::JsonNumber(t, "shed"),
+                  vdb::JsonNumber(t, "in_flight"),
+                  vdb::JsonNumber(t, "shed_rate_10s"));
+    }
+  }
+
+  auto worst = vdb::JsonArrayItems(vdb::JsonObjectAfter(body, "worst_queries"));
+  std::printf("\nworst queries (%zu):\n", worst.size());
+  for (const auto& q : worst) {
+    std::string query = vdb::JsonString(q, "query");
+    if (query.size() > 60) query = query.substr(0, 57) + "...";
+    std::printf("  [%-18s %8.3fms] %s\n", vdb::JsonString(q, "verdict").c_str(),
+                vdb::JsonNumber(q, "total_ms"), query.c_str());
+    std::string stages = vdb::JsonString(q, "stages");
+    if (!stages.empty()) std::printf("      %s\n", stages.c_str());
+  }
+  std::fflush(stdout);
+}
+
+/// `.top <port> [host] [--iters N] [--interval-ms M]` — poll the stats
+/// frame and redraw. Defaults: refresh forever on a terminal, a single
+/// frame when stdout is a pipe (so scripts and the smoke test terminate).
+void RunTop(const std::string& args) {
+  std::istringstream iss(args);
+  std::string tok;
+  std::vector<std::string> positional;
+  long iters = ::isatty(STDOUT_FILENO) ? -1 : 1;
+  long interval_ms = 1000;
+  while (iss >> tok) {
+    if (tok == "--iters") {
+      if (iss >> tok) iters = std::stol(tok);
+    } else if (tok == "--interval-ms") {
+      if (iss >> tok) interval_ms = std::stol(tok);
+    } else {
+      positional.push_back(tok);
+    }
+  }
+  if (positional.empty()) {
+    std::printf("usage: .top <port> [host] [--iters N] [--interval-ms M]\n");
+    return;
+  }
+  std::uint16_t port = static_cast<std::uint16_t>(std::stoi(positional[0]));
+  std::string host = positional.size() > 1 ? positional[1] : "127.0.0.1";
+  auto client = vdb::net::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::printf("error: %s\n", client.status().ToString().c_str());
+    return;
+  }
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (long i = 0; iters < 0 || i < iters; ++i) {
+    auto resp = (*client)->Stats();
+    if (!resp.ok()) {
+      std::printf("error: %s\n", resp.status().ToString().c_str());
+      return;
+    }
+    if (tty) std::fputs("\033[H\033[2J", stdout);
+    std::printf("vdbsh .top — %s:%u   ", host.c_str(), unsigned{port});
+    RenderTopFrame(resp->body);
+    if (iters < 0 || i + 1 < iters) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
 }
 
 std::string VectorLiteral(const vdb::FloatMatrix& data, std::size_t row) {
@@ -97,11 +207,20 @@ int main(int argc, char** argv) {
   std::printf("         .scrub <dir> [quarantine] verifies a data dir's "
               "CRCs\n");
   std::printf("         .serve [port] serves queries over the wire protocol "
-              "(SIGTERM drains)\n\n");
+              "(SIGTERM drains)\n");
+  std::printf("         .top <port> [host] [--iters N] [--interval-ms M] "
+              "watches a live server's stats frame\n\n");
 
   auto run = [&](const std::string& line) {
     if (line == ".metrics") {
+      // Lifetime totals, then the 10s/60s recording-rule views. The shell
+      // has no event loop driving Tick, so rotate the ring here — an
+      // interactive session's windows cover the gaps between commands.
+      static constexpr double kWindows[] = {10.0, 60.0};
+      WindowedRegistry::Global().Tick();
       std::fputs(Registry::Global().RenderPrometheus().c_str(), stdout);
+      std::fputs(WindowedRegistry::Global().RenderPrometheus(kWindows).c_str(),
+                 stdout);
       return;
     }
     if (line.rfind(".scrub", 0) == 0) {
@@ -124,6 +243,10 @@ int main(int argc, char** argv) {
         return;
       }
       std::fputs(report->ToString().c_str(), stdout);
+      return;
+    }
+    if (line.rfind(".top", 0) == 0) {
+      RunTop(line.substr(4));
       return;
     }
     if (line.rfind(".serve", 0) == 0) {

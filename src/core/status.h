@@ -85,10 +85,9 @@ class [[nodiscard]] Status {
     return a.code_ == b.code_;
   }
 
- private:
-  Status(StatusCode code, std::string_view msg)
-      : code_(code), message_(msg) {}
-
+  /// Canonical upper-snake name for a code ("DEADLINE_EXCEEDED"). These
+  /// match the wire verdict names (src/net/protocol.h) and are what the
+  /// flight recorder stores as a query's verdict.
   static std::string_view CodeName(StatusCode code) {
     switch (code) {
       case StatusCode::kOk: return "OK";
@@ -106,6 +105,10 @@ class [[nodiscard]] Status {
     }
     return "UNKNOWN";
   }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
 
   StatusCode code_;
   std::string message_;

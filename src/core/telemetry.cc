@@ -45,6 +45,49 @@ std::size_t TelemetryStripe() {
   return stripe;
 }
 
+// ------------------------------------------------------- HistogramSnapshot
+
+std::uint64_t HistogramSnapshot::TotalCount() const {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  return total;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  std::uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    double next = cum + static_cast<double>(counts[b]);
+    if (next >= target) {
+      double lo = b == 0 ? 0.0 : bounds[b - 1];
+      // The +Inf bucket has no width: report its lower edge.
+      if (b >= bounds.size()) return lo;
+      double hi = bounds[b];
+      double frac = (target - cum) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  d.bounds = bounds;
+  d.counts.resize(counts.size(), 0);
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    std::uint64_t prev = b < earlier.counts.size() ? earlier.counts[b] : 0;
+    d.counts[b] = counts[b] >= prev ? counts[b] - prev : 0;
+  }
+  d.sum = sum >= earlier.sum ? sum - earlier.sum : 0.0;
+  return d;
+}
+
 // ---------------------------------------------------------------- Histogram
 
 Histogram::Histogram(std::span<const double> bounds)
@@ -91,30 +134,14 @@ std::vector<std::uint64_t> Histogram::BucketCounts() const {
   return merged;
 }
 
-double Histogram::Percentile(double p) const {
-  auto counts = BucketCounts();
-  std::uint64_t total = 0;
-  for (auto c : counts) total += c;
-  if (total == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  double target = p / 100.0 * static_cast<double>(total);
-  double cum = 0.0;
-  for (std::size_t b = 0; b < counts.size(); ++b) {
-    if (counts[b] == 0) continue;
-    double next = cum + static_cast<double>(counts[b]);
-    if (next >= target) {
-      double lo = b == 0 ? 0.0 : bounds_[b - 1];
-      // The +Inf bucket has no width: report its lower edge.
-      if (b >= bounds_.size()) return lo;
-      double hi = bounds_[b];
-      double frac = counts[b] == 0
-                        ? 0.0
-                        : (target - cum) / static_cast<double>(counts[b]);
-      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
-    }
-    cum = next;
-  }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+double Histogram::Percentile(double p) const { return Snapshot().Percentile(p); }
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = BucketCounts();
+  snap.sum = Sum();
+  return snap;
 }
 
 void Histogram::Reset() {
@@ -171,6 +198,17 @@ Histogram& Registry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+Registry::Snapshot Registry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
@@ -196,22 +234,23 @@ std::string Registry::RenderPrometheus() const {
     std::string base, labels;
     SplitLabels(name, &base, &labels);
     type_line(base, "histogram");
-    auto counts = h->BucketCounts();
-    const auto& bounds = h->bounds();
+    // One merged read per histogram: buckets, sum, and count in this
+    // render all describe the same snapshot (satellite: reset race).
+    HistogramSnapshot snap = h->Snapshot();
     std::uint64_t cum = 0;
     auto bucket_line = [&](const std::string& le, std::uint64_t v) {
       out += base + "_bucket{";
       if (!labels.empty()) out += labels + ",";
       out += "le=\"" + le + "\"} " + std::to_string(v) + "\n";
     };
-    for (std::size_t b = 0; b < bounds.size(); ++b) {
-      cum += counts[b];
-      bucket_line(FormatDouble(bounds[b]), cum);
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      cum += snap.counts[b];
+      bucket_line(FormatDouble(snap.bounds[b]), cum);
     }
-    cum += counts[bounds.size()];
+    cum += snap.counts[snap.bounds.size()];
     bucket_line("+Inf", cum);
     std::string suffix = labels.empty() ? "" : "{" + labels + "}";
-    out += base + "_sum" + suffix + " " + FormatDouble(h->Sum()) + "\n";
+    out += base + "_sum" + suffix + " " + FormatDouble(snap.sum) + "\n";
     out += base + "_count" + suffix + " " + std::to_string(cum) + "\n";
   }
   return out;
@@ -247,11 +286,14 @@ std::string Registry::RenderJson() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + escape(name) + "\":{\"count\":" + std::to_string(h->Count()) +
-           ",\"sum\":" + FormatDouble(h->Sum()) +
-           ",\"p50\":" + FormatDouble(h->Percentile(50)) +
-           ",\"p95\":" + FormatDouble(h->Percentile(95)) +
-           ",\"p99\":" + FormatDouble(h->Percentile(99)) + "}";
+    // Single snapshot: count, sum, and the three percentiles agree.
+    HistogramSnapshot snap = h->Snapshot();
+    out += "\"" + escape(name) +
+           "\":{\"count\":" + std::to_string(snap.TotalCount()) +
+           ",\"sum\":" + FormatDouble(snap.sum) +
+           ",\"p50\":" + FormatDouble(snap.Percentile(50)) +
+           ",\"p95\":" + FormatDouble(snap.Percentile(95)) +
+           ",\"p99\":" + FormatDouble(snap.Percentile(99)) + "}";
   }
   out += "}}";
   return out;

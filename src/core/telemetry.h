@@ -40,6 +40,16 @@ inline constexpr std::size_t kTelemetryStripes = 16;
 std::size_t TelemetryStripe();
 
 /// Monotonic event counter.
+///
+/// Reset contract (shared with Histogram::Reset): Reset zeroes the
+/// stripes one relaxed store at a time, so it is *not* linearizable
+/// against concurrent Inc — an increment racing the sweep lands before
+/// or after the zeroing of its own stripe and is kept or dropped
+/// accordingly, and a concurrent Value() may observe a partial sweep.
+/// Reset is safe (no data race, never negative, never corrupt) but only
+/// *exact* when writers are quiesced; production code treats metrics as
+/// cumulative and derives rates from windowed deltas
+/// (core/telemetry_window.h) instead of resetting.
 class Counter {
  public:
   void Inc(std::uint64_t n = 1) {
@@ -73,10 +83,34 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// One merged read of a histogram: bucket counts, sum, and the
+/// percentile math over them. Taking a single Snapshot and deriving
+/// count/sum/p50/p95/p99 from it is what keeps a render internally
+/// consistent — separate Count()/Percentile() calls each re-merge the
+/// stripes and can disagree under concurrent writers.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< inclusive upper edges
+  std::vector<std::uint64_t> counts;   ///< size bounds.size() + 1 (+Inf last)
+  double sum = 0.0;
+
+  std::uint64_t TotalCount() const;
+  /// p in [0, 100]; linear interpolation inside the winning bucket.
+  /// Returns 0 for an empty snapshot.
+  double Percentile(double p) const;
+
+  /// Per-bucket difference vs an `earlier` snapshot of the same
+  /// histogram (the windowed-view primitive). Buckets where the earlier
+  /// count exceeds this one (a racing Reset) clamp to zero.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+};
+
 /// Fixed-bucket histogram: `bounds` are inclusive upper bucket edges in
 /// ascending order; one implicit +Inf bucket catches the overflow.
 /// Percentiles interpolate linearly inside the winning bucket, which is
 /// exact enough for tail-latency reporting at 2x-spaced bounds.
+///
+/// Reset shares the Counter::Reset contract: stripe-by-stripe relaxed
+/// zeroing, exact only when writers are quiesced.
 class Histogram {
  public:
   /// At most this many finite bucket edges.
@@ -88,12 +122,17 @@ class Histogram {
 
   std::uint64_t Count() const;
   double Sum() const;
-  /// p in [0, 100]. Returns 0 for an empty histogram.
+  /// p in [0, 100]. Returns 0 for an empty histogram. One merged read;
+  /// callers needing count+sum+percentiles together should take one
+  /// Snapshot() instead of separate calls.
   double Percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Merged per-bucket counts, size bounds().size() + 1 (last = +Inf).
   std::vector<std::uint64_t> BucketCounts() const;
+
+  /// One merged read of buckets + sum (see HistogramSnapshot).
+  HistogramSnapshot Snapshot() const;
 
   void Reset();
 
@@ -129,6 +168,17 @@ class Registry {
   Histogram& GetHistogram(const std::string& name,
                           std::span<const double> bounds = {});
 
+  /// Point-in-time view of every registered metric, one merged read per
+  /// metric. Renders and the windowed plane are built from this, so a
+  /// histogram's count/sum/percentiles in one render always describe the
+  /// same merged state.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Snapshot Snap() const;
+
   /// Prometheus text exposition format, metrics sorted by name.
   std::string RenderPrometheus() const;
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
@@ -136,6 +186,7 @@ class Registry {
   std::string RenderJson() const;
 
   /// Zeroes every registered metric (names and references survive).
+  /// Inherits the per-metric Reset contract: exact only when quiesced.
   void Reset();
 
  private:

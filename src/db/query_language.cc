@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "core/telemetry.h"
+#include "exec/flight_recorder.h"
 #include "exec/trace.h"
 
 namespace vdb {
@@ -351,48 +352,90 @@ Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text,
 
   QueryResult result;
   QueryTrace trace;
-  TraceScope root(&trace, "query");
+  bool want_explain = opts.trace;
 
-  ParsedQuery query;
-  {
-    TraceScope parse_span(&trace, "parse");
-    VDB_ASSIGN_OR_RETURN(query, ParseQuery(text));
-  }
-  VDB_ASSIGN_OR_RETURN(Collection * collection,
-                       db->GetCollection(query.collection));
-  if (query.query_vector.size() != collection->dim()) {
-    return Status::InvalidArgument(
-        "query vector has " + std::to_string(query.query_vector.size()) +
-        " dims; collection expects " + std::to_string(collection->dim()));
-  }
-  SearchParams params;
-  params.trace = &trace;
-  params.k = query.k;  // the plan choice depends on k
-  params.deadline = opts.deadline;
-  if (params.DeadlineExpired()) {
-    // Cancel before planning: a doomed query should cost nothing.
-    return Status::DeadlineExceeded("query deadline expired before execution");
-  }
-  if (query.has_predicate) {
-    // Report the plan the optimizer would pick; execution re-plans
-    // internally (planning is a cheap selectivity estimate).
-    VDB_ASSIGN_OR_RETURN(HybridPlan plan,
-                         collection->ExplainHybrid(query.predicate, &params));
-    result.plan = plan.ToString();
-    VDB_RETURN_IF_ERROR(collection->Hybrid(query.query_vector, query.predicate,
-                                           query.k, &result.rows, &result.stats,
-                                           nullptr, &params));
-  } else {
-    VDB_RETURN_IF_ERROR(collection->Knn(query.query_vector, query.k,
-                                        &result.rows, &result.stats.search,
-                                        &params));
-  }
-  root.End();
-  latency.Observe(trace.TotalMillis() / 1e3);
+  // The pipeline runs inside a lambda so that *every* exit — parse
+  // error, missing collection, expired deadline, backend failure — falls
+  // through to the latency histogram, the slow-query log, and the flight
+  // recorder below. Failures are exactly the completions the flight
+  // recorder exists to retain.
+  auto run = [&]() -> Status {
+    TraceScope root(&trace, "query");
+    ParsedQuery query;
+    {
+      TraceScope parse_span(&trace, "parse");
+      VDB_ASSIGN_OR_RETURN(query, ParseQuery(text));
+    }
+    want_explain = want_explain || query.explain_analyze;
+    VDB_ASSIGN_OR_RETURN(Collection * collection,
+                         db->GetCollection(query.collection));
+    if (query.query_vector.size() != collection->dim()) {
+      return Status::InvalidArgument(
+          "query vector has " + std::to_string(query.query_vector.size()) +
+          " dims; collection expects " + std::to_string(collection->dim()));
+    }
+    SearchParams params;
+    params.trace = &trace;
+    params.k = query.k;  // the plan choice depends on k
+    params.deadline = opts.deadline;
+    if (params.DeadlineExpired()) {
+      // Cancel before planning: a doomed query should cost nothing.
+      return Status::DeadlineExceeded(
+          "query deadline expired before execution");
+    }
+    if (query.has_predicate) {
+      // Report the plan the optimizer would pick; execution re-plans
+      // internally (planning is a cheap selectivity estimate).
+      VDB_ASSIGN_OR_RETURN(HybridPlan plan,
+                           collection->ExplainHybrid(query.predicate, &params));
+      result.plan = plan.ToString();
+      VDB_RETURN_IF_ERROR(collection->Hybrid(query.query_vector,
+                                             query.predicate, query.k,
+                                             &result.rows, &result.stats,
+                                             nullptr, &params));
+    } else {
+      VDB_RETURN_IF_ERROR(collection->Knn(query.query_vector, query.k,
+                                          &result.rows, &result.stats.search,
+                                          &params));
+    }
+    return Status::Ok();
+  };
+  Status st = run();
+
+  const double total_ms = trace.TotalMillis();
+  latency.Observe(total_ms / 1e3);
   MaybeLogSlowQuery(trace, text);
-  if (query.explain_analyze) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (std::uint64_t seq = recorder.NoteCompletion(!st.ok(), total_ms)) {
+    FlightRecord rec;
+    rec.seq = seq;
+    rec.query = text;
+    rec.tenant = opts.tenant;
+    rec.verdict = std::string(Status::CodeName(st.code()));
+    rec.failed = !st.ok();
+    rec.total_ms = total_ms;
+    if (opts.deadline != std::chrono::steady_clock::time_point{}) {
+      rec.has_deadline = true;
+      rec.deadline_slack_ms =
+          std::chrono::duration<double, std::milli>(
+              opts.deadline - std::chrono::steady_clock::now())
+              .count();
+    }
+    rec.stages = trace.StageSummary();
+    rec.trace = trace.Render();
+    recorder.Record(std::move(rec));
+  }
+
+  if (!st.ok()) return st;
+  if (want_explain) {
     if (!result.plan.empty()) result.explain = "plan: " + result.plan + "\n";
     result.explain += trace.Render();
+    if (opts.trace) {
+      // Wire-traced queries also get the compact per-stage attribution
+      // line, so a remote client can parse stage costs without walking
+      // the indented tree. (EXPLAIN ANALYZE output is unchanged.)
+      result.explain += "stages: " + trace.StageSummary() + "\n";
+    }
   }
   return result;
 }

@@ -62,14 +62,24 @@ struct QueryOptions {
   /// SearchParams::deadline, so an expired query is cancelled before the
   /// index scan runs (DEADLINE_EXCEEDED) rather than computed.
   std::chrono::steady_clock::time_point deadline{};
+  /// Requesting tenant (serving layer); recorded with the query in the
+  /// flight recorder. Empty for unattributed local execution.
+  std::string tenant;
+  /// Request the measured span tree in `QueryResult::explain` even
+  /// without an EXPLAIN ANALYZE prefix — the wire trace flag: a remote
+  /// client asks for attribution without rewriting its query text.
+  bool trace = false;
 };
 
 /// Parses and executes against `db` (hybrid path when a WHERE clause is
 /// present, plain k-NN otherwise). The relational-optimizer analogy of
 /// §2.4(2): the collection's configured plan optimizer picks the plan.
 /// Every query is traced (spans feed the slow-query log and, under
-/// EXPLAIN ANALYZE, the returned `explain` text) and counted in the
-/// global metrics registry.
+/// EXPLAIN ANALYZE or `opts.trace`, the returned `explain` text) and
+/// counted in the global metrics registry. Every completion — success
+/// or failure — is offered to the global FlightRecorder, which retains
+/// the worst recent ones with their span trees, verdicts, and deadline
+/// slack (exec/flight_recorder.h).
 Result<QueryResult> ExecuteQueryTraced(Database* db, const std::string& text,
                                        const QueryOptions& opts = {});
 

@@ -1,0 +1,163 @@
+#include "exec/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/telemetry.h"
+
+namespace vdb {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Full JSON string escaping — traces contain newlines and query text is
+/// user-controlled, so this must handle every control character.
+std::string EscapeJson(const std::string& s) {
+  std::string e;
+  e.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': e += "\\\""; break;
+      case '\\': e += "\\\\"; break;
+      case '\n': e += "\\n"; break;
+      case '\r': e += "\\r"; break;
+      case '\t': e += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          e += buf;
+        } else {
+          e.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return e;
+}
+
+Counter& RecordsCounter() {
+  static Counter& c = Registry::Global().GetCounter("vdb_flight_records_total");
+  return c;
+}
+
+Gauge& OccupancyGauge() {
+  static Gauge& g = Registry::Global().GetGauge("vdb_flight_occupancy");
+  return g;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               std::uint64_t stale_horizon)
+    : capacity_(capacity == 0 ? 1 : capacity), stale_horizon_(stale_horizon) {
+  entries_.reserve(capacity_);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* instance =
+      new FlightRecorder();  // leaked: process lifetime, like Registry
+  return *instance;
+}
+
+bool FlightRecorder::Worse(const FlightRecord& a, const FlightRecord& b) {
+  if (a.failed != b.failed) return a.failed;
+  return a.total_ms > b.total_ms;
+}
+
+std::uint64_t FlightRecorder::NoteCompletion(bool failed, double total_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completions_;
+  // Age out first so board-worthiness is judged against a fresh board.
+  std::erase_if(entries_, [&](const FlightRecord& e) {
+    return completions_ - e.seq > stale_horizon_;
+  });
+  OccupancyGauge().Set(static_cast<std::int64_t>(entries_.size()));
+  if (entries_.size() < capacity_) return completions_;
+  FlightRecord candidate;
+  candidate.failed = failed;
+  candidate.total_ms = total_ms;
+  const FlightRecord* least = &entries_.front();
+  for (const FlightRecord& e : entries_) {
+    if (!Worse(e, *least)) least = &e;
+  }
+  return Worse(candidate, *least) ? completions_ : 0;
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  if (record.query.size() > kMaxQueryBytes) {
+    record.query.resize(kMaxQueryBytes);
+    record.query += "...";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(entries_, [&](const FlightRecord& e) {
+    return completions_ - e.seq > stale_horizon_;
+  });
+  if (entries_.size() >= capacity_) {
+    // Replace the least-bad entry — re-checked under the lock because
+    // the board may have changed since NoteCompletion admitted us.
+    auto least = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!Worse(*it, *least)) least = it;
+    }
+    if (!Worse(record, *least)) {
+      OccupancyGauge().Set(static_cast<std::int64_t>(entries_.size()));
+      return;
+    }
+    *least = std::move(record);
+  } else {
+    entries_.push_back(std::move(record));
+  }
+  RecordsCounter().Inc();
+  OccupancyGauge().Set(static_cast<std::int64_t>(entries_.size()));
+}
+
+std::vector<FlightRecord> FlightRecorder::WorstFirst() const {
+  std::vector<FlightRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), [](const FlightRecord& a,
+                                       const FlightRecord& b) {
+    if (a.failed != b.failed || a.total_ms != b.total_ms) return Worse(a, b);
+    return a.seq > b.seq;  // tie-break: newer first, deterministic
+  });
+  return out;
+}
+
+std::string FlightRecorder::RenderJson() const {
+  std::vector<FlightRecord> worst = WorstFirst();
+  std::string out = "[";
+  bool first = true;
+  for (const FlightRecord& r : worst) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"seq\":" + std::to_string(r.seq);
+    out += ",\"query\":\"" + EscapeJson(r.query) + "\"";
+    out += ",\"tenant\":\"" + EscapeJson(r.tenant) + "\"";
+    out += ",\"verdict\":\"" + EscapeJson(r.verdict) + "\"";
+    out += ",\"failed\":";
+    out += r.failed ? "true" : "false";
+    out += ",\"total_ms\":" + FormatDouble(r.total_ms);
+    out += ",\"deadline_slack_ms\":";
+    out += r.has_deadline ? FormatDouble(r.deadline_slack_ms) : "null";
+    out += ",\"stages\":\"" + EscapeJson(r.stages) + "\"";
+    out += ",\"trace\":\"" + EscapeJson(r.trace) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  completions_ = 0;
+  OccupancyGauge().Set(0);
+}
+
+}  // namespace vdb

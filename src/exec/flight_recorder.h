@@ -1,0 +1,93 @@
+#ifndef VDB_EXEC_FLIGHT_RECORDER_H_
+#define VDB_EXEC_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+/// One retained bad query: everything an operator needs to answer "what
+/// were the worst things this server just did" without re-running them.
+struct FlightRecord {
+  std::uint64_t seq = 0;       ///< completion sequence number (recency)
+  std::string query;           ///< query text (truncated, see kMaxQueryBytes)
+  std::string tenant;          ///< "" when the query had no tenant
+  std::string verdict;         ///< Status::CodeName of the outcome ("OK",
+                               ///< "DEADLINE_EXCEEDED", ...) — matches the
+                               ///< wire verdict names
+  bool failed = false;         ///< verdict != OK
+  double total_ms = 0.0;       ///< end-to-end wall time
+  bool has_deadline = false;
+  double deadline_slack_ms = 0.0;  ///< deadline - completion (negative =
+                                   ///< finished past its deadline)
+  std::string stages;          ///< QueryTrace::StageSummary() attribution
+  std::string trace;           ///< full rendered span tree ("" if untraced)
+};
+
+/// Lock-protected ring of the N *worst* recent queries (the tentpole's
+/// flight recorder). "Worst" orders failures before slow successes, then
+/// by total latency; "recent" means entries age out after a horizon of
+/// subsequent completions so a one-off disaster from an hour ago doesn't
+/// pin the board forever.
+///
+/// Usage is two-phase so the hot path stays cheap:
+///   std::uint64_t seq = fr.NoteCompletion(failed, total_ms);
+///   if (seq != 0) fr.Record(...)   // only then render trace etc.
+/// NoteCompletion increments the completion counter and answers "would
+/// this query make the board?" with one mutex acquisition and no
+/// allocation; the expensive capture (rendering the span tree, copying
+/// the query text) happens only for admitted candidates.
+class FlightRecorder {
+ public:
+  /// Retained entries ("worst N").
+  static constexpr std::size_t kDefaultCapacity = 8;
+  /// An entry is stale once this many completions happened after it.
+  static constexpr std::uint64_t kDefaultStaleHorizon = 512;
+  /// Query text is truncated to this many bytes in a record.
+  static constexpr std::size_t kMaxQueryBytes = 512;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity,
+                          std::uint64_t stale_horizon = kDefaultStaleHorizon);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-wide instance (the one ExecuteQueryTraced and the serving
+  /// worker report into).
+  static FlightRecorder& Global();
+
+  /// Counts one completed query and decides whether it deserves capture.
+  /// Returns its sequence number if the caller should follow up with
+  /// Record(), 0 if the query is not board-worthy (faster than every
+  /// retained entry on a full, fresh board).
+  std::uint64_t NoteCompletion(bool failed, double total_ms);
+
+  /// Captures `record` (record.seq must come from NoteCompletion).
+  /// Evicts stale entries first, then the least-bad entry.
+  void Record(FlightRecord record);
+
+  /// Retained entries, worst first.
+  std::vector<FlightRecord> WorstFirst() const;
+
+  /// [{"seq":..,"query":"..","tenant":"..","verdict":"..","failed":..,
+  ///   "total_ms":..,"deadline_slack_ms":..|null,"stages":"..",
+  ///   "trace":".."}] — worst first, full JSON string escaping.
+  std::string RenderJson() const;
+
+  void Clear();
+
+ private:
+  /// True when a beats b in badness order (failures first, then slower).
+  static bool Worse(const FlightRecord& a, const FlightRecord& b);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::uint64_t stale_horizon_;
+  std::uint64_t completions_ = 0;      ///< total queries seen
+  std::vector<FlightRecord> entries_;  ///< unsorted; sorted on read
+};
+
+}  // namespace vdb
+
+#endif  // VDB_EXEC_FLIGHT_RECORDER_H_

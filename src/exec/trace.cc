@@ -121,6 +121,25 @@ std::string QueryTrace::Render() const {
   return out;
 }
 
+std::string QueryTrace::StageSummary() const {
+  std::string out;
+  char buf[64];
+  auto append = [&](const TraceSpan& span) {
+    if (!out.empty()) out += " ";
+    out += span.name;
+    std::uint64_t dur =
+        span.open ? NsSince(epoch_) - span.start_ns : span.dur_ns;
+    std::snprintf(buf, sizeof(buf), "=%.3fms",
+                  static_cast<double>(dur) / 1e6);
+    out += buf;
+  };
+  for (const TraceSpan& span : spans_) {
+    if (span.depth == 1) append(span);
+  }
+  if (out.empty() && !spans_.empty()) append(spans_.front());
+  return out;
+}
+
 // ------------------------------------------------------- slow-query log
 
 namespace {

@@ -55,6 +55,13 @@ class QueryTrace {
   /// and notes — the body of EXPLAIN ANALYZE and the slow-query log.
   std::string Render() const;
 
+  /// Compact one-line per-stage latency attribution for wire transport
+  /// and the flight recorder: "parse=0.004ms plan=0.040ms
+  /// index_search:hnsw=0.006ms". Top-level child spans only (depth 1 —
+  /// the pipeline stages under the root query span); root-only traces
+  /// fall back to the root.
+  std::string StageSummary() const;
+
  private:
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceSpan> spans_;

@@ -1,7 +1,9 @@
 #include "net/admission.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <set>
 
 #include "core/telemetry.h"
 
@@ -37,6 +39,42 @@ struct Metrics {
   }
 };
 
+/// Tenant name -> Prometheus label value: restricted to [a-zA-Z0-9_-]
+/// (anything else becomes '_' so a tenant cannot inject label syntax),
+/// truncated, "" mapped to "default".
+std::string SanitizeTenantLabel(const std::string& tenant) {
+  std::string label;
+  for (char c : tenant) {
+    bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+              c == '-';
+    label.push_back(ok ? c : '_');
+    if (label.size() >= 32) break;
+  }
+  if (label.empty()) label = "default";
+  return label;
+}
+
+/// Labeled per-tenant counter with bounded label cardinality: after
+/// kMaxTenantLabels distinct labels, new tenants fold into "other".
+Counter& TenantCounter(const char* base, const std::string& tenant) {
+  static std::mutex mu;
+  static std::set<std::string>* seen = new std::set<std::string>();
+  std::string label = SanitizeTenantLabel(tenant);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = seen->find(label);
+    if (it == seen->end()) {
+      if (seen->size() >= AdmissionController::kMaxTenantLabels) {
+        label = "other";
+      } else {
+        seen->insert(label);
+      }
+    }
+  }
+  return Registry::Global().GetCounter(std::string(base) + "{tenant=\"" +
+                                       label + "\"}");
+}
+
 }  // namespace
 
 AdmissionController::AdmissionController(AdmissionOptions opts)
@@ -50,14 +88,39 @@ const TenantQuota& AdmissionController::QuotaFor(
 
 AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
                                             Clock::time_point now) {
+  AdmitDecision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    decision = TryAdmitLocked(tenant, now);
+  }
+  // Labeled per-tenant counters outside mu_: GetCounter takes
+  // Registry::mu_ and the lock order is caller -> Registry, never
+  // AdmissionController::mu_ -> Registry::mu_ (DESIGN.md §9).
+  if (decision.verdict == AdmitVerdict::kAdmit) {
+    TenantCounter("vdb_server_tenant_admitted_total", tenant).Inc();
+  } else {
+    TenantCounter("vdb_server_tenant_shed_total", tenant).Inc();
+  }
+  return decision;
+}
+
+AdmitDecision AdmissionController::TryAdmitLocked(const std::string& tenant,
+                                                  Clock::time_point now) {
   Metrics& m = Metrics::Get();
-  std::lock_guard<std::mutex> lock(mu_);
+  TenantState& state = tenants_[tenant];
+  // Count every rejection against the requesting tenant, whatever the
+  // cause — "my shed rate" is the number a tenant dashboard needs even
+  // when the cause is server-wide (queue, breaker, drain).
+  auto reject = [&state](AdmitDecision d) {
+    state.shed += 1;
+    return d;
+  };
 
   if (draining_) {
     m.rejected_draining.Inc();
     // No retry hint: this process is going away; the client should
     // re-resolve, not re-send here.
-    return {AdmitVerdict::kDraining, 0};
+    return reject({AdmitVerdict::kDraining, 0});
   }
 
   if (breaker_open_until_ != Clock::time_point{}) {
@@ -66,9 +129,9 @@ AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
       auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
                            breaker_open_until_ - now)
                            .count();
-      return {AdmitVerdict::kBreakerOpen,
-              std::max<std::uint32_t>(static_cast<std::uint32_t>(remaining),
-                                      1)};
+      return reject(
+          {AdmitVerdict::kBreakerOpen,
+           std::max<std::uint32_t>(static_cast<std::uint32_t>(remaining), 1)});
     }
     // Cooldown over — half-open: admit traffic again; the next backend
     // failure streak re-trips immediately.
@@ -78,11 +141,10 @@ AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
 
   if (queued_ >= opts_.max_queue_depth) {
     m.shed_queue_full.Inc();
-    return {AdmitVerdict::kQueueFull, opts_.retry_after_floor_ms};
+    return reject({AdmitVerdict::kQueueFull, opts_.retry_after_floor_ms});
   }
 
   const TenantQuota& quota = QuotaFor(tenant);
-  TenantState& state = tenants_[tenant];
   if (!state.initialized) {
     state.tokens = quota.burst;
     state.last_refill = now;
@@ -91,7 +153,7 @@ AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
 
   if (state.in_flight >= quota.max_in_flight) {
     m.throttled.Inc();
-    return {AdmitVerdict::kThrottled, opts_.retry_after_floor_ms};
+    return reject({AdmitVerdict::kThrottled, opts_.retry_after_floor_ms});
   }
 
   // Token-bucket refill: elapsed * rate, capped at burst. Negative
@@ -112,11 +174,12 @@ AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
       retry_ms = std::max<std::uint32_t>(
           retry_ms, static_cast<std::uint32_t>(std::ceil(wait_s * 1e3)));
     }
-    return {AdmitVerdict::kThrottled, retry_ms};
+    return reject({AdmitVerdict::kThrottled, retry_ms});
   }
 
   state.tokens -= 1.0;
   state.in_flight += 1;
+  state.admitted += 1;
   ++queued_;
   m.admitted.Inc();
   m.queue_depth.Set(static_cast<std::int64_t>(queued_));
@@ -176,6 +239,26 @@ std::size_t AdmissionController::InFlight() const {
 std::size_t AdmissionController::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queued_;
+}
+
+std::string AdmissionController::MetricLabelFor(const std::string& tenant) {
+  return SanitizeTenantLabel(tenant);
+}
+
+std::vector<AdmissionController::TenantStats>
+AdmissionController::TenantStatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) {
+    TenantStats ts;
+    ts.tenant = tenant;
+    ts.admitted = state.admitted;
+    ts.shed = state.shed;
+    ts.in_flight = state.in_flight;
+    out.push_back(std::move(ts));
+  }
+  return out;  // std::map iteration: already sorted by tenant
 }
 
 }  // namespace vdb::net

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace vdb::net {
 
@@ -67,10 +68,18 @@ struct AdmitDecision {
 /// Reports into the global registry: vdb_server_admitted_total,
 /// _throttled_total, _shed_queue_full_total, _breaker_rejected_total,
 /// _rejected_draining_total, _breaker_trips_total counters and the
-/// vdb_server_queue_depth / _in_flight / _breaker_open gauges.
+/// vdb_server_queue_depth / _in_flight / _breaker_open gauges; plus
+/// per-tenant labeled counters vdb_server_tenant_admitted_total /
+/// vdb_server_tenant_shed_total{tenant="..."} (labels sanitized, capped
+/// at kMaxTenantLabels distinct values then folded into tenant="other"
+/// so a hostile tenant-name stream cannot grow the registry unbounded).
 class AdmissionController {
  public:
   using Clock = std::chrono::steady_clock;
+
+  /// Distinct tenant label values in the metrics registry before new
+  /// tenants fold into tenant="other".
+  static constexpr std::size_t kMaxTenantLabels = 32;
 
   explicit AdmissionController(AdmissionOptions opts);
 
@@ -97,6 +106,22 @@ class AdmissionController {
   /// Admitted-but-not-started count (the backpressure signal).
   std::size_t QueueDepth() const;
 
+  /// Cumulative per-tenant accounting for the stats wire frame: one
+  /// entry per tenant ever seen, sorted by tenant name.
+  struct TenantStats {
+    std::string tenant;          ///< "" = default bucket
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;      ///< throttled+queue_full+breaker+draining
+    std::uint32_t in_flight = 0;
+  };
+  std::vector<TenantStats> TenantStatsSnapshot() const;
+
+  /// The sanitized label value this tenant reports under in the labeled
+  /// per-tenant counters ("" -> "default"). Does not account for
+  /// cardinality folding: a tenant past the kMaxTenantLabels cap
+  /// actually reports as "other".
+  static std::string MetricLabelFor(const std::string& tenant);
+
   const AdmissionOptions& options() const { return opts_; }
 
  private:
@@ -105,9 +130,16 @@ class AdmissionController {
     Clock::time_point last_refill{};
     bool initialized = false;
     std::uint32_t in_flight = 0;
+    std::uint64_t admitted = 0;  ///< cumulative TryAdmit -> kAdmit
+    std::uint64_t shed = 0;      ///< cumulative TryAdmit -> any rejection
   };
 
   const TenantQuota& QuotaFor(const std::string& tenant) const;
+  /// TryAdmit body; mu_ held. Updates per-tenant cumulative counts but
+  /// not the labeled registry counters (those need Registry::mu_, taken
+  /// by the caller after releasing mu_).
+  AdmitDecision TryAdmitLocked(const std::string& tenant,
+                               Clock::time_point now);
 
   AdmissionOptions opts_;
   mutable std::mutex mu_;

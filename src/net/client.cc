@@ -74,12 +74,13 @@ Result<Response> Client::RoundTrip(const Request& req) {
 
 Result<Response> Client::Query(const std::string& text,
                                const std::string& tenant,
-                               std::uint32_t deadline_ms) {
+                               std::uint32_t deadline_ms, bool trace) {
   Request req;
   req.type = MsgType::kQuery;
   req.request_id = next_request_id_++;
   req.tenant = tenant;
   req.deadline_ms = deadline_ms;
+  req.trace = trace;
   req.text = text;
   return RoundTrip(req);
 }
@@ -94,6 +95,13 @@ Result<Response> Client::Ping() {
 Result<Response> Client::Metrics() {
   Request req;
   req.type = MsgType::kMetrics;
+  req.request_id = next_request_id_++;
+  return RoundTrip(req);
+}
+
+Result<Response> Client::Stats() {
+  Request req;
+  req.type = MsgType::kStats;
   req.request_id = next_request_id_++;
   return RoundTrip(req);
 }

@@ -26,13 +26,18 @@ class Client {
   /// Sends a query and waits for its response. The returned Response may
   /// carry a non-kOk status (throttled / queue-full / draining / query
   /// errors) — transport-level failures are the Status channel, protocol
-  /// verdicts are the Response.
+  /// verdicts are the Response. With `trace` set the server executes the
+  /// query traced and returns its span tree + per-stage latency
+  /// attribution in Response::body (remote EXPLAIN ANALYZE).
   Result<Response> Query(const std::string& text, const std::string& tenant,
-                         std::uint32_t deadline_ms);
+                         std::uint32_t deadline_ms, bool trace = false);
 
   Result<Response> Ping();
   /// Metrics snapshot; the JSON lands in Response::body.
   Result<Response> Metrics();
+  /// Windowed stats + flight-recorder dump (the .top feed); JSON in
+  /// Response::body. Served inline by the server even under overload.
+  Result<Response> Stats();
 
   int fd() const { return fd_; }
 

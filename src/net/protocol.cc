@@ -146,6 +146,7 @@ void EncodeRequest(const Request& req, std::vector<std::uint8_t>* out) {
     PutU16(&payload, static_cast<std::uint16_t>(req.tenant.size()));
     payload.insert(payload.end(), req.tenant.begin(), req.tenant.end());
     PutU32(&payload, req.deadline_ms);
+    PutU8(&payload, req.trace ? kQueryFlagTrace : 0);
     PutString(&payload, req.text);
   }
   PutU32(out, static_cast<std::uint32_t>(payload.size()));
@@ -197,6 +198,9 @@ Result<Request> DecodeRequest(std::span<const std::uint8_t> payload) {
       if (!c.U16(&tenant_len)) return Truncated("tenant_len");
       if (!c.String(&req.tenant, tenant_len)) return Truncated("tenant");
       if (!c.U32(&req.deadline_ms)) return Truncated("deadline_ms");
+      std::uint8_t flags;
+      if (!c.U8(&flags)) return Truncated("flags");
+      req.trace = (flags & kQueryFlagTrace) != 0;  // unknown bits ignored
       std::uint32_t text_len;
       if (!c.U32(&text_len)) return Truncated("text_len");
       if (!c.String(&req.text, text_len)) return Truncated("text");
@@ -207,6 +211,9 @@ Result<Request> DecodeRequest(std::span<const std::uint8_t> payload) {
       break;
     case MsgType::kMetrics:
       req.type = MsgType::kMetrics;
+      break;
+    case MsgType::kStats:
+      req.type = MsgType::kStats;
       break;
     default:
       return Status::InvalidArgument("unknown request type " +

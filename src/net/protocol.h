@@ -22,27 +22,38 @@ namespace vdb::net {
 ///
 ///   Query request payload:
 ///     [u8 type=1][u64 request_id][u16 tenant_len][tenant]
-///     [u32 deadline_ms][u32 text_len][text]
+///     [u32 deadline_ms][u8 flags][u32 text_len][text]
 ///   Ping request:    [u8 type=2][u64 request_id]
 ///   Metrics request: [u8 type=3][u64 request_id]
+///   Stats request:   [u8 type=4][u64 request_id]
 ///
 ///   Response payload (one shape for all request types):
 ///     [u8 type=128][u64 request_id][u8 wire_status][u32 retry_after_ms]
 ///     [u32 message_len][message][u32 nrows][(u64 id, f32 dist)*]
 ///     [u32 body_len][body]
 ///
-/// `retry_after_ms` is nonzero exactly when the request was shed by
-/// admission control (throttle / queue-full / breaker / drain): the
-/// explicit RETRY-AFTER contract — overload is reported, never a stall
-/// or a silent drop. `body` carries the metrics JSON for kMetrics and
-/// the EXPLAIN/plan text for queries that produce one.
+/// `flags` is a bitset of kQueryFlag* (unknown bits are ignored for
+/// forward compatibility). `retry_after_ms` is nonzero exactly when the
+/// request was shed by admission control (throttle / queue-full /
+/// breaker / drain): the explicit RETRY-AFTER contract — overload is
+/// reported, never a stall or a silent drop. `body` carries the metrics
+/// JSON for kMetrics, the windowed-stats JSON for kStats (DESIGN.md
+/// §7.4), and the EXPLAIN/plan text — plus, under kQueryFlagTrace, the
+/// server-side span tree — for queries.
 
 enum class MsgType : std::uint8_t {
   kQuery = 1,
   kPing = 2,
   kMetrics = 3,
+  kStats = 4,  ///< windowed metrics + flight-recorder dump (vdbsh .top)
   kResponse = 128,
 };
+
+/// Query-frame flag bits.
+/// Trace: execute with tracing and return the rendered span tree +
+/// per-stage latency attribution in `Response::body` — EXPLAIN ANALYZE
+/// over the wire, without rewriting the query text.
+inline constexpr std::uint8_t kQueryFlagTrace = 0x1;
 
 /// Status byte on the wire. A superset of StatusCode: admission verdicts
 /// are first-class so clients can distinguish "bad request" from
@@ -75,6 +86,7 @@ struct Request {
   std::uint64_t request_id = 0;
   std::string tenant;         ///< empty = default tenant bucket
   std::uint32_t deadline_ms = 0;  ///< client budget; 0 = none
+  bool trace = false;         ///< kQueryFlagTrace: return the span tree
   std::string text;           ///< query dialect text (kQuery only)
 };
 

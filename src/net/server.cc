@@ -9,11 +9,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "core/failpoint.h"
 #include "core/telemetry.h"
+#include "core/telemetry_window.h"
 #include "db/query_language.h"
+#include "exec/flight_recorder.h"
 
 namespace vdb::net {
 
@@ -59,10 +62,41 @@ bool BackendHealthy(StatusCode code) {
          code != StatusCode::kCorruption;
 }
 
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string e;
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': e += "\\\""; break;
+      case '\\': e += "\\\\"; break;
+      case '\n': e += "\\n"; break;
+      case '\r': e += "\\r"; break;
+      case '\t': e += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          e += buf;
+        } else {
+          e.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return e;
+}
+
 }  // namespace
 
 Server::Server(Database* db, ServerOptions opts)
-    : db_(db), opts_(std::move(opts)), admission_(opts_.admission) {}
+    : db_(db),
+      opts_(std::move(opts)),
+      start_time_(std::chrono::steady_clock::now()),
+      admission_(opts_.admission) {}
 
 Server::~Server() {
   (void)Shutdown();
@@ -213,6 +247,7 @@ void Server::HandleQuery(Conn* conn, Request req) {
   job.request_id = req.request_id;
   job.tenant = std::move(req.tenant);
   job.text = std::move(req.text);
+  job.trace = req.trace;
   job.enqueued = now;
   std::uint32_t budget_ms =
       req.deadline_ms != 0 ? req.deadline_ms : opts_.default_deadline_ms;
@@ -246,10 +281,23 @@ void Server::HandleFrame(Conn* conn, std::span<const std::uint8_t> payload) {
     }
     case MsgType::kMetrics: {
       // Served inline (never queued): the observability plane must stay
-      // readable under overload and during drain.
+      // readable under overload and during drain. Lifetime totals plus
+      // the 10s/60s windowed views (DESIGN.md §7.2).
+      static constexpr double kWindows[] = {10.0, 60.0};
       Response resp;
       resp.request_id = req.request_id;
-      resp.body = Registry::Global().RenderJson();
+      resp.body = "{\"lifetime\":" + Registry::Global().RenderJson() +
+                  ",\"windowed\":" +
+                  WindowedRegistry::Global().RenderJson(kWindows) + "}";
+      conn->QueueResponse(resp);
+      return;
+    }
+    case MsgType::kStats: {
+      // Inline for the same reason: .top must render while the run
+      // queue is saturated — that is exactly when an operator looks.
+      Response resp;
+      resp.request_id = req.request_id;
+      resp.body = BuildStatsJson();
       conn->QueueResponse(resp);
       return;
     }
@@ -287,6 +335,93 @@ void Server::FlushResponses() {
   }
 }
 
+std::string Server::BuildStatsJson() const {
+  WindowedRegistry& win = WindowedRegistry::Global();
+  // One live snapshot shared by every windowed read below, so qps,
+  // percentiles, and verdict deltas in one stats frame agree.
+  Registry::Snapshot live = Registry::Global().Snap();
+  const auto now = std::chrono::steady_clock::now();
+
+  auto window_delta = [&](const char* name, double w) {
+    return win.CounterOver(live, name, w, now);
+  };
+  auto lifetime = [&](const char* name) -> std::uint64_t {
+    auto it = live.counters.find(name);
+    return it != live.counters.end() ? it->second : 0;
+  };
+
+  std::string out = "{\"uptime_seconds\":";
+  out += FormatDouble(
+      std::chrono::duration<double>(now - start_time_).count());
+
+  out += ",\"windows\":{";
+  constexpr double kWindows[] = {10.0, 60.0};
+  bool first = true;
+  for (double w : kWindows) {
+    auto requests =
+        window_delta("vdb_server_query_requests_total", w);
+    auto latency = win.HistogramOver(live, "vdb_server_request_seconds", w, now);
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + std::to_string(static_cast<int>(w)) + "s\":{";
+    out += "\"requests\":" + std::to_string(requests.delta);
+    out += ",\"qps\":" + FormatDouble(requests.RatePerSec());
+    out += ",\"p50_ms\":" + FormatDouble(latency.delta.Percentile(50) * 1e3);
+    out += ",\"p95_ms\":" + FormatDouble(latency.delta.Percentile(95) * 1e3);
+    out += ",\"p99_ms\":" + FormatDouble(latency.delta.Percentile(99) * 1e3);
+    out += "}";
+  }
+  out += "}";
+
+  auto verdict_block = [&](const char* key, auto value_of) {
+    out += std::string(",\"") + key + "\":{";
+    const char* names[][2] = {
+        {"requests", "vdb_server_query_requests_total"},
+        {"admitted", "vdb_server_admitted_total"},
+        {"throttled", "vdb_server_throttled_total"},
+        {"queue_full", "vdb_server_shed_queue_full_total"},
+        {"breaker", "vdb_server_breaker_rejected_total"},
+        {"draining", "vdb_server_rejected_draining_total"},
+        {"deadline_expired", "vdb_server_deadline_expired_total"},
+    };
+    bool f = true;
+    for (const auto& [label, metric] : names) {
+      if (!f) out += ",";
+      f = false;
+      out += std::string("\"") + label + "\":" +
+             std::to_string(value_of(metric));
+    }
+    out += "}";
+  };
+  verdict_block("verdicts_10s", [&](const char* name) {
+    return window_delta(name, 10.0).delta;
+  });
+  verdict_block("lifetime", lifetime);
+
+  out += ",\"tenants\":[";
+  first = true;
+  for (const auto& ts : admission_.TenantStatsSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    auto shed_10s = window_delta(
+        ("vdb_server_tenant_shed_total{tenant=\"" +
+         AdmissionController::MetricLabelFor(ts.tenant) + "\"}")
+            .c_str(),
+        10.0);
+    out += "{\"tenant\":\"" + EscapeJson(ts.tenant) + "\"";
+    out += ",\"admitted\":" + std::to_string(ts.admitted);
+    out += ",\"shed\":" + std::to_string(ts.shed);
+    out += ",\"in_flight\":" + std::to_string(ts.in_flight);
+    out += ",\"shed_rate_10s\":" + FormatDouble(shed_10s.RatePerSec());
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"worst_queries\":" + FlightRecorder::Global().RenderJson();
+  out += "}";
+  return out;
+}
+
 bool Server::DrainComplete() {
   if (admission_.InFlight() != 0) return false;
   {
@@ -309,6 +444,11 @@ void Server::EventLoop() {
   for (;;) {
     int n = ::epoll_wait(epoll_fd_, events, 64, kEpollTickMs);
     if (n < 0 && errno != EINTR) break;  // epoll itself failed: give up
+
+    // Rotate the windowed-metrics ring: the loop wakes at least every
+    // kEpollTickMs, far inside the 1s window width, so boundaries are
+    // recorded promptly even on an idle server.
+    WindowedRegistry::Global().Tick();
 
     for (int i = 0; i < std::max(n, 0); ++i) {
       std::uint64_t key = events[i].data.u64;
@@ -466,9 +606,33 @@ void Server::WorkerLoop(std::size_t worker_index) {
       deadline_expired.Inc();
       resp.status = WireStatus::kDeadlineExceeded;
       resp.message = "deadline expired in run queue";
+      // Queue-cancelled requests never reach ExecuteQueryTraced, so the
+      // flight recorder hears about them here — they are precisely the
+      // "where did my query go" cases an operator pulls up .top for.
+      double waited_ms =
+          std::chrono::duration<double, std::milli>(start - job.enqueued)
+              .count();
+      FlightRecorder& recorder = FlightRecorder::Global();
+      if (std::uint64_t seq = recorder.NoteCompletion(true, waited_ms)) {
+        FlightRecord rec;
+        rec.seq = seq;
+        rec.query = job.text;
+        rec.tenant = job.tenant;
+        rec.verdict = "DEADLINE_EXCEEDED";
+        rec.failed = true;
+        rec.total_ms = waited_ms;
+        rec.has_deadline = true;
+        rec.deadline_slack_ms =
+            std::chrono::duration<double, std::milli>(job.deadline - start)
+                .count();
+        rec.trace = "(cancelled in run queue before execution)";
+        recorder.Record(std::move(rec));
+      }
     } else {
       QueryOptions qopts;
       qopts.deadline = job.deadline;
+      qopts.tenant = job.tenant;
+      qopts.trace = job.trace;
       Result<QueryResult> result = ExecuteQueryTraced(db_, job.text, qopts);
       if (result.ok()) {
         resp.rows = std::move(result->rows);

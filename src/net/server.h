@@ -95,6 +95,7 @@ class Server {
     std::uint64_t request_id = 0;
     std::string tenant;
     std::string text;
+    bool trace = false;  ///< kQueryFlagTrace: span tree in the response
     std::chrono::steady_clock::time_point deadline{};  ///< zero = none
     std::chrono::steady_clock::time_point enqueued{};
   };
@@ -117,9 +118,15 @@ class Server {
   void PokeLoop();
   /// True when nothing is admitted, queued, or buffered — drain done.
   bool DrainComplete();
+  /// Body of the kStats wire frame (DESIGN.md §7.4): uptime, windowed
+  /// qps/latency, 10s verdict mix, lifetime totals, per-tenant admission
+  /// accounting, and the flight-recorder worst-queries dump. Served
+  /// inline on the event loop like kMetrics.
+  std::string BuildStatsJson() const;
 
   Database* db_;
   ServerOptions opts_;
+  std::chrono::steady_clock::time_point start_time_{};
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

@@ -23,6 +23,8 @@
 #include "core/failpoint.h"
 #include "core/synthetic.h"
 #include "core/telemetry.h"
+#include "core/telemetry_window.h"
+#include "exec/flight_recorder.h"
 #include "db/concurrent.h"
 #include "db/distributed.h"
 #include "index/diskann.h"
@@ -367,6 +369,162 @@ TEST(ConcurrencyStressTest, TelemetryRegistryChurn) {
   reg.Reset();
   reg.GetCounter("vdb_stress_total_0").Inc(3);
   EXPECT_EQ(reg.GetCounter("vdb_stress_total_0").Value(), 3u);
+}
+
+// Reset vs concurrent Inc/Observe while readers take per-metric
+// snapshots. The documented contract (DESIGN.md §7.1): Reset is not
+// linearizable against in-flight increments, but every snapshot a
+// reader takes is internally consistent — per-bucket counts and sum
+// come from one pass, DeltaSince clamps when a reset moves the
+// baseline ahead, and percentiles stay inside the bucket range.
+TEST(ConcurrencyStressTest, TelemetryResetVsSnapshotReaders) {
+  Registry reg;
+  std::vector<double> bounds = {0.001, 0.01, 0.1, 1.0};
+  reg.GetHistogram("vdb_stress_reset_seconds", bounds);
+  const std::size_t kOps = 400 * StressScale();
+
+  RunThreads(6, [&](std::size_t t) {
+    if (t < 3) {  // writers
+      auto& h = reg.GetHistogram("vdb_stress_reset_seconds", bounds);
+      auto& c = reg.GetCounter("vdb_stress_reset_total");
+      for (std::size_t i = 0; i < kOps; ++i) {
+        c.Inc();
+        h.Observe(0.0005 * double(i % 40));
+      }
+    } else if (t < 5) {  // snapshot readers
+      auto& h = reg.GetHistogram("vdb_stress_reset_seconds", bounds);
+      HistogramSnapshot prev = h.Snapshot();
+      for (std::size_t i = 0; i < kOps / 4; ++i) {
+        HistogramSnapshot cur = h.Snapshot();
+        HistogramSnapshot delta = cur.DeltaSince(prev);
+        // Clamped delta: never negative, never torn across buckets.
+        std::uint64_t bucket_sum = 0;
+        for (std::uint64_t n : delta.counts) bucket_sum += n;
+        EXPECT_EQ(delta.TotalCount(), bucket_sum);
+        double p99 = cur.Percentile(99.0);
+        EXPECT_GE(p99, 0.0);
+        EXPECT_LE(p99, bounds.back());
+        (void)reg.RenderPrometheus();
+        prev = cur;
+      }
+    } else {  // resetter
+      for (std::size_t i = 0; i < 10 * StressScale(); ++i) {
+        reg.Reset();
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  // Quiesced, Reset is exact.
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("vdb_stress_reset_total").Value(), 0u);
+  EXPECT_EQ(
+      reg.GetHistogram("vdb_stress_reset_seconds", bounds).Snapshot()
+          .TotalCount(),
+      0u);
+}
+
+// ------------------------------------------------------ windowed views
+
+// Writers drive counters/histograms while one thread rotates the
+// boundary ring and others read windowed views and renders. Windowed
+// deltas may legitimately lag the live total (traffic before a boundary
+// belongs behind it) but must never exceed it, and the underlying
+// registry must stay exact.
+TEST(ConcurrencyStressTest, WindowedRegistryTickReadChurn) {
+  Registry reg;
+  WindowedRegistry::Options opts;
+  opts.width = std::chrono::milliseconds(1);
+  opts.slots = 64;
+  WindowedRegistry win(reg, opts);
+  const std::size_t kOps = 300 * StressScale();
+  const double kWindows[] = {0.004, 0.016};
+  std::atomic<bool> done{false};
+
+  RunThreads(6, [&](std::size_t t) {
+    if (t < 3) {  // writers
+      for (std::size_t i = 0; i < kOps; ++i) {
+        reg.GetCounter("vdb_stress_win_total").Inc();
+        reg.GetHistogram("vdb_stress_win_seconds")
+            .Observe(1e-5 * double(i % 100));
+      }
+      if (t == 0) done.store(true);
+    } else if (t == 3) {  // ticker (real clock, 1ms slots rotate fast)
+      while (!done.load()) win.Tick();
+    } else {  // windowed readers
+      while (!done.load()) {
+        auto view = win.CounterOver("vdb_stress_win_total", kWindows[0]);
+        EXPECT_LE(view.delta, reg.GetCounter("vdb_stress_win_total").Value());
+        auto hist = win.HistogramOver("vdb_stress_win_seconds", kWindows[1]);
+        EXPECT_GE(hist.seconds, 0.0);
+        (void)win.RenderPrometheus(kWindows);
+        (void)win.RenderJson(kWindows);
+      }
+    }
+  });
+
+  // The registry under the ring stayed exact.
+  EXPECT_EQ(reg.GetCounter("vdb_stress_win_total").Value(), 3 * kOps);
+  EXPECT_EQ(
+      reg.GetHistogram("vdb_stress_win_seconds").Snapshot().TotalCount(),
+      3 * kOps);
+  // A fresh, never-ticked ring sees everything (empty baseline).
+  WindowedRegistry fresh(reg, opts);
+  EXPECT_EQ(fresh.CounterOver("vdb_stress_win_total", 10.0).delta, 3 * kOps);
+}
+
+// ------------------------------------------------------ flight recorder
+
+// Concurrent two-phase admissions racing board readers: capacity and
+// the seq contract must hold no matter how NoteCompletion/Record pairs
+// interleave with WorstFirst/RenderJson/Clear.
+TEST(ConcurrencyStressTest, FlightRecorderAdmissionVsReaders) {
+  FlightRecorder fr(/*capacity=*/4, /*stale_horizon=*/64);
+  const std::size_t kOps = 200 * StressScale();
+
+  RunThreads(6, [&](std::size_t t) {
+    if (t < 4) {  // completing queries
+      for (std::size_t i = 0; i < kOps; ++i) {
+        bool failed = (i % 17) == 0;
+        double ms = 0.1 * double((i * 7 + t) % 50);
+        std::uint64_t seq = fr.NoteCompletion(failed, ms);
+        if (seq != 0) {
+          FlightRecord rec;
+          rec.seq = seq;
+          rec.query = "SELECT stress " + std::to_string(i);
+          rec.tenant = "t" + std::to_string(t);
+          rec.verdict = failed ? "DEADLINE_EXCEEDED" : "OK";
+          rec.failed = failed;
+          rec.total_ms = ms;
+          fr.Record(std::move(rec));
+        }
+      }
+    } else if (t == 4) {  // readers
+      for (std::size_t i = 0; i < kOps / 2; ++i) {
+        auto worst = fr.WorstFirst();
+        EXPECT_LE(worst.size(), 4u);
+        // Worst-first order: failures strictly before successes.
+        bool seen_success = false;
+        for (const auto& r : worst) {
+          if (!r.failed) seen_success = true;
+          else EXPECT_FALSE(seen_success);
+        }
+        std::string json = fr.RenderJson();
+        ASSERT_FALSE(json.empty());
+        EXPECT_EQ(json.front(), '[');
+        EXPECT_EQ(json.back(), ']');
+      }
+    } else {  // occasional operator Clear
+      for (std::size_t i = 0; i < 5; ++i) {
+        std::this_thread::yield();
+        fr.Clear();
+      }
+    }
+  });
+
+  EXPECT_LE(fr.WorstFirst().size(), 4u);
+  fr.Clear();
+  EXPECT_EQ(fr.RenderJson(), "[]");
 }
 
 // ------------------------------------------------------------ failpoints

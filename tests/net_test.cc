@@ -59,6 +59,68 @@ TEST(ProtocolTest, QueryRequestRoundTrip) {
   EXPECT_EQ(decoded->text, req.text);
 }
 
+TEST(ProtocolTest, TraceFlagRoundTrips) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.request_id = 12;
+  req.tenant = "t";
+  req.trace = true;
+  req.text = "SELECT knn(1) FROM c ORDER BY distance([1])";
+  std::vector<std::uint8_t> wire;
+  EncodeRequest(req, &wire);
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->trace);
+
+  req.trace = false;
+  wire.clear();
+  EncodeRequest(req, &wire);
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->trace);
+}
+
+TEST(ProtocolTest, UnknownQueryFlagBitsAreIgnored) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.request_id = 13;
+  req.tenant = "t";
+  req.trace = true;
+  req.text = "q";
+  std::vector<std::uint8_t> wire;
+  EncodeRequest(req, &wire);
+  // Flags byte offset inside the frame: [u32 len] + [u8 type]
+  // [u64 request_id][u16 tenant_len][tenant][u32 deadline_ms].
+  std::size_t flags_at = 4 + 1 + 8 + 2 + req.tenant.size() + 4;
+  ASSERT_EQ(wire[flags_at], kQueryFlagTrace);
+  wire[flags_at] = 0xFF;  // every bit set, most undefined today
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->trace);  // known bit honored, unknown bits dropped
+}
+
+TEST(ProtocolTest, StatsRequestRoundTrips) {
+  Request req;
+  req.type = MsgType::kStats;
+  req.request_id = 77;
+  std::vector<std::uint8_t> wire;
+  EncodeRequest(req, &wire);
+  std::span<const std::uint8_t> payload;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ExtractFrame(wire, &payload, &consumed), FrameResult::kReady);
+  auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, MsgType::kStats);
+  EXPECT_EQ(decoded->request_id, 77u);
+}
+
 TEST(ProtocolTest, ResponseRoundTripWithRows) {
   Response resp;
   resp.request_id = 7;
@@ -379,8 +441,70 @@ TEST_F(ServerTest, PingQueryMetrics) {
 
   auto metrics = (*client)->Metrics();
   ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("\"lifetime\":"), std::string::npos);
   EXPECT_NE(metrics->body.find("vdb_server_admitted_total"),
             std::string::npos);
+  // The wire metrics body also carries the 10s/60s windowed views.
+  EXPECT_NE(metrics->body.find("\"windowed\":{\"windows\":"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("\"10s\":"), std::string::npos);
+  EXPECT_NE(metrics->body.find("\"60s\":"), std::string::npos);
+}
+
+TEST_F(ServerTest, TracedQueryRoundTripsSpanTreeOverWire) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+
+  auto plain = (*client)->Query(kQuery, "t", 0);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->status, WireStatus::kOk);
+  EXPECT_EQ(plain->body, "");  // untraced queries pay no explain cost
+
+  auto traced = (*client)->Query(kQuery, "t", 0, /*trace=*/true);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_EQ(traced->status, WireStatus::kOk);
+  EXPECT_EQ(traced->rows.size(), 3u);
+  // The response body carries the server-side span tree plus the
+  // per-stage attribution line (remote EXPLAIN ANALYZE).
+  EXPECT_NE(traced->body.find("query"), std::string::npos);
+  EXPECT_NE(traced->body.find("parse"), std::string::npos);
+  EXPECT_NE(traced->body.find("index_search"), std::string::npos);
+  EXPECT_NE(traced->body.find("stages: "), std::string::npos);
+}
+
+TEST_F(ServerTest, StatsFrameReportsWindowsVerdictsTenantsWorst) {
+  auto server = StartServer();
+  ASSERT_NE(server, nullptr);
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = (*client)->Query(kQuery, "stats-tenant", 1000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, WireStatus::kOk);
+  }
+
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->status, WireStatus::kOk);
+  const std::string& body = stats->body;
+  // Windowed qps/percentiles over both standard windows.
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"10s\":{\"requests\":"), std::string::npos);
+  EXPECT_NE(body.find("\"60s\":{\"requests\":"), std::string::npos);
+  EXPECT_NE(body.find("\"p95_ms\":"), std::string::npos);
+  // Verdict mix, both 10s deltas and monotonic lifetime totals.
+  EXPECT_NE(body.find("\"verdicts_10s\":{"), std::string::npos);
+  EXPECT_NE(body.find("\"lifetime\":{"), std::string::npos);
+  EXPECT_NE(body.find("\"deadline_expired\":"), std::string::npos);
+  // Per-tenant admission accounting for the tenant we drove.
+  EXPECT_NE(body.find("\"tenant\":\"stats-tenant\""), std::string::npos);
+  EXPECT_NE(body.find("\"shed_rate_10s\":"), std::string::npos);
+  // The flight recorder dump (the five OK queries are board-worthy on a
+  // quiet board).
+  EXPECT_NE(body.find("\"worst_queries\":["), std::string::npos);
+  EXPECT_NE(body.find("\"seq\":"), std::string::npos);
 }
 
 TEST_F(ServerTest, BadQueryIsClientErrorNotDisconnect) {

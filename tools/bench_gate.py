@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate over BENCH_*.json reports.
+
+Compares a freshly produced bench report against the committed baseline
+and fails when a tail-latency field regresses beyond the threshold:
+
+  python3 tools/bench_gate.py BASELINE.json CURRENT.json [B2 C2 ...]
+
+Reports are the bench/bench_util.h JsonReport envelope:
+
+  {"schema_version":1,"git_rev":"abc1234","bench":"serving","rows":[...]}
+
+Matching rules:
+  - Reports must agree on schema_version and bench name.
+  - Rows pair up by identity: the sorted set of string-valued fields
+    (configuration, e.g. {"workload":"closed-loop"} or {"index":"hnsw"}).
+    Numeric fields are measurements and never part of identity.
+  - Gated fields are the numeric fields whose name matches
+    --field-pattern (default: contains "p95"; higher = worse). A field
+    fails when current > baseline * (1 + --threshold) and the baseline
+    exceeds --min-abs (sub-noise-floor baselines gate on nothing).
+  - A baseline row with no identity match in the current report is a
+    warning, not a failure: benches grow and reshape rows; the gate
+    only polices rows both revisions measured.
+
+Exit status: 0 clean, 1 on regression or malformed input. CI runs this
+as a soft gate (continue-on-error) because shared runners are noisy;
+the hard signal is the trajectory across commits, tracked via the
+uploaded BENCH_*.json artifacts.
+
+`--self-test` runs the gate against synthetic reports (identical pass,
+2x p95 regression fail) and exits 0 only if both behave.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 0.15
+DEFAULT_PATTERN = "p95"
+DEFAULT_MIN_ABS = 0.05
+
+
+def load_report(path):
+    with open(path) as fp:
+        report = json.load(fp)
+    for key in ("schema_version", "bench", "rows"):
+        if key not in report:
+            raise ValueError(f"{path}: missing '{key}' "
+                             f"(pre-schema report? re-run the bench)")
+    return report
+
+
+def row_identity(row):
+    return tuple(sorted((k, v) for k, v in row.items() if isinstance(v, str)))
+
+
+def rows_by_identity(report, path):
+    rows = {}
+    for row in report["rows"]:
+        ident = row_identity(row)
+        if ident in rows:
+            raise ValueError(f"{path}: duplicate row identity {ident or '()'}"
+                             f" — add a distinguishing string field")
+        rows[ident] = row
+    return rows
+
+
+def fmt_identity(ident):
+    return "{" + ", ".join(f"{k}={v}" for k, v in ident) + "}" if ident \
+        else "{}"
+
+
+def compare(baseline, current, *, threshold, pattern, min_abs,
+            baseline_name="baseline", current_name="current"):
+    """Returns (violations, warnings): lists of human-readable strings."""
+    violations, warnings = [], []
+    if baseline["schema_version"] != current["schema_version"]:
+        violations.append(
+            f"schema_version mismatch: {baseline_name} has "
+            f"{baseline['schema_version']}, {current_name} has "
+            f"{current['schema_version']}")
+        return violations, warnings
+    if baseline["bench"] != current["bench"]:
+        violations.append(
+            f"bench name mismatch: {baseline_name} is "
+            f"'{baseline['bench']}', {current_name} is '{current['bench']}'")
+        return violations, warnings
+
+    base_rows = rows_by_identity(baseline, baseline_name)
+    cur_rows = rows_by_identity(current, current_name)
+    gated = 0
+    for ident, base_row in base_rows.items():
+        cur_row = cur_rows.get(ident)
+        if cur_row is None:
+            warnings.append(f"row {fmt_identity(ident)} present in "
+                            f"{baseline_name} but not in {current_name}")
+            continue
+        for key, base_val in base_row.items():
+            if pattern not in key:
+                continue
+            cur_val = cur_row.get(key)
+            if not isinstance(base_val, (int, float)) or \
+                    not isinstance(cur_val, (int, float)):
+                continue
+            if base_val <= min_abs:
+                continue
+            gated += 1
+            if cur_val > base_val * (1.0 + threshold):
+                violations.append(
+                    f"[{current['bench']}] row {fmt_identity(ident)} "
+                    f"field '{key}': {base_val:g} -> {cur_val:g} "
+                    f"(+{(cur_val / base_val - 1.0) * 100.0:.1f}%, "
+                    f"threshold +{threshold * 100.0:.0f}%)")
+    for ident in cur_rows:
+        if ident not in base_rows:
+            warnings.append(f"row {fmt_identity(ident)} is new in "
+                            f"{current_name} (no baseline; not gated)")
+    if gated == 0:
+        warnings.append(f"[{current['bench']}] no '{pattern}' fields gated "
+                        f"— check --field-pattern against the report")
+    return violations, warnings
+
+
+def self_test(threshold, pattern, min_abs):
+    def report(p95):
+        return {"schema_version": 1, "git_rev": "selftest",
+                "bench": "serving",
+                "rows": [{"workload": "closed-loop", "qps": 1000.0,
+                          "lat_ms_p50": 1.0, "lat_ms_p95": p95,
+                          "lat_ms_p99": 2 * p95}]}
+
+    kwargs = dict(threshold=threshold, pattern=pattern, min_abs=min_abs)
+    ok_v, _ = compare(report(4.0), report(4.0), **kwargs)
+    jitter_v, _ = compare(report(4.0), report(4.0 * (1 + threshold * 0.9)),
+                          **kwargs)
+    bad_v, _ = compare(report(4.0), report(8.0), **kwargs)
+    failures = []
+    if ok_v:
+        failures.append(f"identical reports flagged: {ok_v}")
+    if jitter_v:
+        failures.append(f"sub-threshold jitter flagged: {jitter_v}")
+    if not bad_v:
+        failures.append("synthetic 2x p95 regression NOT flagged")
+    if failures:
+        for f in failures:
+            print(f"bench_gate self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("bench_gate self-test OK (pass on identical, pass on "
+          "sub-threshold jitter, fail on 2x p95)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("reports", nargs="*", metavar="BASELINE CURRENT",
+                        help="one or more baseline/current report pairs")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative increase before failing "
+                             "(default 0.15 = +15%%)")
+    parser.add_argument("--field-pattern", default=DEFAULT_PATTERN,
+                        help="substring selecting gated numeric fields "
+                             "(default 'p95')")
+    parser.add_argument("--min-abs", type=float, default=DEFAULT_MIN_ABS,
+                        help="baselines at or below this are noise floor "
+                             "and not gated (default 0.05)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate itself, then exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.threshold, args.field_pattern, args.min_abs)
+    if not args.reports or len(args.reports) % 2 != 0:
+        parser.error("expected BASELINE CURRENT report path pairs")
+
+    all_violations, checked = [], 0
+    for base_path, cur_path in zip(args.reports[::2], args.reports[1::2]):
+        try:
+            baseline = load_report(base_path)
+            current = load_report(cur_path)
+            violations, warnings = compare(
+                baseline, current, threshold=args.threshold,
+                pattern=args.field_pattern, min_abs=args.min_abs,
+                baseline_name=base_path, current_name=cur_path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            all_violations.append(f"{base_path} vs {cur_path}: {e}")
+            continue
+        checked += 1
+        for w in warnings:
+            print(f"bench_gate warning: {w}", file=sys.stderr)
+        all_violations.extend(violations)
+
+    if all_violations:
+        for v in all_violations:
+            print(f"bench_gate REGRESSION: {v}", file=sys.stderr)
+        print(f"bench_gate: {len(all_violations)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: OK ({checked} report pair(s) within "
+          f"+{args.threshold * 100.0:.0f}% on '{args.field_pattern}')")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

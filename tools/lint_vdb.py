@@ -22,6 +22,11 @@ pass --root):
      metrics may only be compiled under src/net/, and src/net/ may only
      register names under those prefixes — the serving subsystem's
      observable surface stays in one place.
+  6. Metric documentation closure: every registered `vdb_*` metric name
+     appears (backticked) in the DESIGN.md §7 metric table, and every
+     `vdb_*` name that table documents is registered somewhere in src/
+     — the dashboard reference can neither lag the code nor advertise
+     metrics that no longer exist.
 
 Exit status 0 when clean; 1 with one "file:line: message" per violation
 otherwise. Run by the `lint` CI job and locally via
@@ -37,7 +42,13 @@ FAILPOINT_CALL = re.compile(
     r"\b(?:FailpointFires|FailpointDelayMs|FailpointCrashSite|"
     r"FailpointCrashNow)\s*\(\s*\"([^\"]+)\"")
 METRIC_CALL = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)")
+# Labeled per-tenant counters go through the TenantCounter helper (the
+# label is computed, so the name literal is not a GetCounter argument).
+LABELED_COUNTER_CALL = re.compile(r"\bTenantCounter\s*\(\s*\"([^\"]+)\"")
 METRIC_NAME = re.compile(r"^vdb_[a-z0-9_]+$")
+# A backticked metric mention in DESIGN.md §7 (labels / recording-rule
+# suffixes may follow the base name inside the backticks).
+DESIGN_METRIC = re.compile(r"`(vdb_[a-z0-9_]+)")
 RAW_IO = re.compile(r"(::write\s*\(|\b(?:fsync|fdatasync|pwrite)\s*\()")
 NET_IO = re.compile(
     r"::(?:socket|bind|listen|accept4?|connect|recv|send|"
@@ -142,10 +153,13 @@ def check_telemetry(root, errors):
     kinds = {}  # base name -> {kind: [(file, line)]}
     for path in source_files(root):
         text = strip_comments(path.read_text())
-        for m in METRIC_CALL.finditer(text):
-            kind, name = m.group(1), m.group(2)
+        registrations = [(m.group(1), m.group(2), m.start())
+                         for m in METRIC_CALL.finditer(text)]
+        registrations += [("Counter", m.group(1), m.start())
+                          for m in LABELED_COUNTER_CALL.finditer(text)]
+        for kind, name, start in registrations:
             base = name.split("{", 1)[0]
-            line = text.count("\n", 0, m.start()) + 1
+            line = text.count("\n", 0, start) + 1
             loc = (path.relative_to(root), line)
             kinds.setdefault(base, {}).setdefault(kind, []).append(loc)
             if not METRIC_NAME.match(base):
@@ -167,6 +181,22 @@ def check_telemetry(root, errors):
         if kind == "Histogram" and not base.endswith("_seconds"):
             errors.append(f"{f}:{l}: histogram '{base}' must end in _seconds")
     return kinds
+
+
+def check_metric_docs(root, kinds, errors):
+    """Invariant 6: registered vdb_* names <-> DESIGN.md §7 table."""
+    section = design_section(root, "## 7.")
+    documented = set(DESIGN_METRIC.findall(section))
+    for base, by_kind in sorted(kinds.items()):
+        if base in documented:
+            continue
+        kind = sorted(by_kind)[0]
+        f, l = by_kind[kind][0]
+        errors.append(f"{f}:{l}: metric '{base}' is not documented in the "
+                      f"DESIGN.md §7 metric table")
+    for base in sorted(documented - set(kinds)):
+        errors.append(f"DESIGN.md §7 documents metric '{base}' which is "
+                      f"not registered anywhere under src/")
 
 
 def check_raw_io(root, errors):
@@ -199,6 +229,7 @@ def main():
     errors = []
     sites = check_failpoints(args.root, errors)
     metrics = check_telemetry(args.root, errors)
+    check_metric_docs(args.root, metrics, errors)
     check_raw_io(args.root, errors)
 
     if errors:
