@@ -5,10 +5,13 @@
 // the exact end. Each index sweeps its own accuracy knob and reports
 // (recall@10, QPS, distance computations) — the ANN-Benchmarks series.
 
+#include <unistd.h>
+
 #include <functional>
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "index/diskann.h"
 #include "index/flat.h"
 #include "index/hnsw.h"
 #include "index/ivf.h"
@@ -200,6 +203,20 @@ int main(int argc, char** argv) {
                       {{"ef=16", P(16, -1, -1, -1)},
                        {"ef=64", P(64, -1, -1, -1)},
                        {"ef=128", P(128, -1, -1, -1)}}});
+  }
+  {
+    // Disk-resident rows ride the same sweep so the E1 gate also tracks
+    // the batched-beam-I/O search path (cache off: honest page reads).
+    DiskAnnOptions o;
+    o.pq.m = 8;
+    std::string path =
+        "/tmp/vdb_bench_diskann_" + std::to_string(::getpid());
+    sweeps.push_back(
+        {"diskann",
+         [o, path] { return std::make_unique<DiskAnnIndex>(path, o); },
+         {{"ef=32", P(32, -1, -1, -1)},
+          {"ef=64", P(64, -1, -1, -1)},
+          {"ef=128", P(128, -1, -1, -1)}}});
   }
   {
     SpectralHashOptions o;

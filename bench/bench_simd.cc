@@ -1,21 +1,29 @@
 // E8 — SIMD hardware acceleration of similarity projection and ADC
-// (paper §2.3(1)). google-benchmark microbenchmarks.
+// (paper §2.3(1)).
 //
-// Claims under test: AVX2+FMA kernels accelerate L2 / inner-product
-// evaluation by a large factor over honest scalar code across dimensions;
-// PQ ADC table lookups beat full-precision distances per candidate.
+// Claims under test: AVX2+FMA and AVX-512 kernels accelerate L2 /
+// inner-product evaluation by a large factor over honest scalar code
+// across dimensions; batched one-query-vs-many kernels beat a loop of
+// single-pair calls; PQ ADC table lookups beat full-precision distances
+// per candidate; Quick ADC scans 32 codes per register-resident LUT.
+//
+// Emits one row per (kernel, tier, shape) with an ns_per_call column so
+// `tools/bench_gate.py --field-pattern ns_per` can diff runs against the
+// committed BENCH_simd.json baseline. Tiers the CPU lacks are skipped
+// (their rows are absent; the gate treats missing rows as warnings).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "core/rng.h"
 #include "core/simd.h"
 #include "core/types.h"
-#include "quant/pq.h"
 
+namespace vdb {
 namespace {
-
-using vdb::FloatMatrix;
-using vdb::Rng;
 
 FloatMatrix MakeVectors(std::size_t n, std::size_t dim) {
   Rng rng(7);
@@ -26,122 +34,237 @@ FloatMatrix MakeVectors(std::size_t n, std::size_t dim) {
   return m;
 }
 
-void BM_L2Scalar(benchmark::State& state) {
-  std::size_t dim = state.range(0);
-  FloatMatrix m = MakeVectors(256, dim);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        vdb::simd::L2SqScalar(m.row(i % 255), m.row(i % 255 + 1), dim));
-    ++i;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_L2Scalar)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+// Keeps kernel results observable so the optimizer cannot elide the
+// calls; the accumulated value is printed once in the footer.
+double g_sink = 0.0;
 
-void BM_L2Avx2(benchmark::State& state) {
-  std::size_t dim = state.range(0);
-  FloatMatrix m = MakeVectors(256, dim);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        vdb::simd::L2SqAvx2(m.row(i % 255), m.row(i % 255 + 1), dim));
-    ++i;
+/// Times `fn()` (one "call") over enough iterations to dominate clock
+/// overhead and returns nanoseconds per call: a short warmup, then
+/// batches until >= 5 ms of measured work.
+double NsPerCall(const std::function<void()>& fn) {
+  for (int i = 0; i < 200; ++i) fn();
+  std::size_t iters = 0;
+  double secs = 0.0;
+  std::size_t batch = 1000;
+  while (secs < 5e-3) {
+    secs += bench::Seconds([&] {
+      for (std::size_t i = 0; i < batch; ++i) fn();
+    });
+    iters += batch;
   }
-  state.SetItemsProcessed(state.iterations());
+  return secs * 1e9 / static_cast<double>(iters);
 }
-BENCHMARK(BM_L2Avx2)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_IpScalar(benchmark::State& state) {
-  std::size_t dim = state.range(0);
-  FloatMatrix m = MakeVectors(256, dim);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vdb::simd::InnerProductScalar(
-        m.row(i % 255), m.row(i % 255 + 1), dim));
-    ++i;
+void Report(bench::JsonReport* report, const std::string& kernel,
+            const std::string& tier, const std::string& shape, double ns) {
+  bench::Row("%-22s %-8s %-10s ns/call=%9.2f", kernel.c_str(), tier.c_str(),
+             shape.c_str(), ns);
+  if (report != nullptr) {
+    report->BeginRow();
+    report->Field("kernel", kernel);
+    report->Field("tier", tier);
+    report->Field("shape", shape);
+    report->Field("ns_per_call", ns);
   }
 }
-BENCHMARK(BM_IpScalar)->Arg(64)->Arg(256);
 
-void BM_IpAvx2(benchmark::State& state) {
-  std::size_t dim = state.range(0);
-  FloatMatrix m = MakeVectors(256, dim);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(vdb::simd::InnerProductAvx2(
-        m.row(i % 255), m.row(i % 255 + 1), dim));
-    ++i;
-  }
-}
-BENCHMARK(BM_IpAvx2)->Arg(64)->Arg(256);
+struct Tier {
+  const char* name;
+  bool available;
+};
 
-// ADC: one compressed-domain candidate evaluation vs one full-precision
-// distance at the same original dimensionality.
-void BM_AdcLookup(benchmark::State& state) {
-  std::size_t m = state.range(0);  // sub-quantizers; original dim = 8*m
-  Rng rng(3);
-  std::vector<float> tables(m * 256);
-  for (auto& t : tables) t = rng.NextGaussian();
-  std::vector<std::vector<unsigned char>> codes(1024,
-                                                std::vector<unsigned char>(m));
-  for (auto& code : codes) {
-    for (auto& c : code) c = static_cast<unsigned char>(rng.Next(256));
-  }
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        vdb::simd::AdcLookup(tables.data(), codes[i % 1024].data(), m, 256));
-    ++i;
+const std::vector<Tier>& Tiers() {
+  static const std::vector<Tier> tiers = {
+      {"scalar", true},
+      {"avx2", simd::HasAvx2()},
+      {"avx512", simd::HasAvx512()},
+  };
+  return tiers;
+}
+
+// ------------------------------------------------------------ single pair
+
+void BenchSinglePair(bench::JsonReport* report) {
+  for (std::size_t dim : {std::size_t{16}, std::size_t{64}, std::size_t{256},
+                          std::size_t{1024}}) {
+    FloatMatrix m = MakeVectors(256, dim);
+    std::size_t i = 0;
+    auto rotate = [&] {
+      const float* a = m.row(i % 255);
+      const float* b = m.row(i % 255 + 1);
+      ++i;
+      return std::make_pair(a, b);
+    };
+    for (const Tier& t : Tiers()) {
+      if (!t.available) continue;
+      std::string tier = t.name;
+      Report(report, "l2sq", tier, "dim=" + std::to_string(dim),
+             NsPerCall([&, tier] {
+               auto [a, b] = rotate();
+               g_sink += tier == "scalar"   ? simd::L2SqScalar(a, b, dim)
+                         : tier == "avx2"   ? simd::L2SqAvx2(a, b, dim)
+                                            : simd::L2SqAvx512(a, b, dim);
+             }));
+      if (dim == 64 || dim == 256) {
+        Report(report, "inner_product", tier, "dim=" + std::to_string(dim),
+               NsPerCall([&, tier] {
+                 auto [a, b] = rotate();
+                 g_sink +=
+                     tier == "scalar" ? simd::InnerProductScalar(a, b, dim)
+                     : tier == "avx2" ? simd::InnerProductAvx2(a, b, dim)
+                                      : simd::InnerProductAvx512(a, b, dim);
+               }));
+      }
+    }
   }
 }
-BENCHMARK(BM_AdcLookup)->Arg(8)->Arg(16)->Arg(32);
+
+// -------------------------------------------------------------- batched
+//
+// ns_per_call here is per BATCH of 16 rows — compare against 16x the
+// single-pair row to see the amortization win.
+
+void BenchBatch(bench::JsonReport* report) {
+  const std::size_t kRows = 4096, kBatch = 16;
+  for (std::size_t dim : {std::size_t{64}, std::size_t{256}}) {
+    FloatMatrix base = MakeVectors(kRows, dim);
+    Rng rng(11);
+    std::vector<std::uint32_t> ids(kRows);
+    for (auto& id : ids) id = static_cast<std::uint32_t>(rng.Next(kRows));
+    float out[kBatch];
+    std::size_t i = 0;
+    std::string shape = "dim=" + std::to_string(dim) + ",n=16";
+    for (const Tier& t : Tiers()) {
+      if (!t.available) continue;
+      std::string tier = t.name;
+      Report(report, "l2sq_batch_gather", tier, shape, NsPerCall([&, tier] {
+               const float* q = base.row(i % kRows);
+               const std::uint32_t* id = ids.data() + (i * kBatch) % (kRows - kBatch);
+               ++i;
+               if (tier == "scalar") {
+                 simd::L2SqBatchGatherScalar(q, base.data(), dim, id, kBatch,
+                                             out);
+               } else if (tier == "avx2") {
+                 simd::L2SqBatchGatherAvx2(q, base.data(), dim, id, kBatch,
+                                           out);
+               } else {
+                 simd::L2SqBatchGatherAvx512(q, base.data(), dim, id, kBatch,
+                                             out);
+               }
+               g_sink += out[0] + out[kBatch - 1];
+             }));
+    }
+    // Dispatched loop-of-singles vs the dispatched batch: the win the
+    // graph hot path actually sees.
+    Report(report, "l2sq_single_loop", "dispatch", shape, NsPerCall([&] {
+             const float* q = base.row(i % kRows);
+             const std::uint32_t* id = ids.data() + (i * kBatch) % (kRows - kBatch);
+             ++i;
+             for (std::size_t r = 0; r < kBatch; ++r) {
+               out[r] =
+                   simd::L2Sq(q, base.data() + std::size_t{id[r]} * dim, dim);
+             }
+             g_sink += out[0] + out[kBatch - 1];
+           }));
+    Report(report, "l2sq_batch_contig", "dispatch", shape, NsPerCall([&] {
+             const float* q = base.row(i % (kRows - kBatch));
+             ++i;
+             simd::L2SqBatch(q, base.row((i * kBatch) % (kRows - kBatch)),
+                             dim, kBatch, out);
+             g_sink += out[0] + out[kBatch - 1];
+           }));
+    Report(report, "ip_batch_gather", "dispatch", shape, NsPerCall([&] {
+             const float* q = base.row(i % kRows);
+             const std::uint32_t* id = ids.data() + (i * kBatch) % (kRows - kBatch);
+             ++i;
+             simd::InnerProductBatchGather(q, base.data(), dim, id, kBatch,
+                                           out);
+             g_sink += out[0] + out[kBatch - 1];
+           }));
+  }
+}
+
+// ------------------------------------------------------------------ ADC
+
+void BenchAdc(bench::JsonReport* report) {
+  for (std::size_t m : {std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+    Rng rng(3);
+    std::vector<float> tables(m * 256);
+    for (auto& t : tables) t = rng.NextGaussian();
+    std::vector<std::vector<unsigned char>> codes(
+        1024, std::vector<unsigned char>(m));
+    for (auto& code : codes) {
+      for (auto& c : code) c = static_cast<unsigned char>(rng.Next(256));
+    }
+    std::size_t i = 0;
+    std::string shape = "m=" + std::to_string(m);
+    Report(report, "adc_lookup", "scalar", shape, NsPerCall([&] {
+             g_sink += simd::AdcLookupScalar(tables.data(),
+                                             codes[i++ % 1024].data(), m, 256);
+           }));
+    if (simd::HasAvx512() && m >= 16) {
+      Report(report, "adc_lookup", "avx512", shape, NsPerCall([&] {
+               g_sink += simd::AdcLookupAvx512(
+                   tables.data(), codes[i++ % 1024].data(), m, 256);
+             }));
+    }
+    // Full-precision distance over the vector the code represents
+    // (dsub=8): the per-candidate cost ADC avoids.
+    std::size_t dim = 8 * m;
+    FloatMatrix data = MakeVectors(256, dim);
+    Report(report, "full_dist_same_dim", "dispatch", shape, NsPerCall([&] {
+             g_sink += simd::L2Sq(data.row(i % 255), data.row(i % 255 + 1),
+                                  dim);
+             ++i;
+           }));
+  }
+}
 
 // Quick ADC (FastScan): 32 compressed candidates per call with the LUT
 // resident in SIMD registers — the register-shuffle technique of §2.3(1).
-void BM_QuickAdcScalar(benchmark::State& state) {
-  std::size_t m = state.range(0);
-  Rng rng(5);
-  std::vector<unsigned char> luts(m * 16), codes(m * 32);
-  for (auto& b : luts) b = static_cast<unsigned char>(rng.Next(256));
-  for (auto& b : codes) b = static_cast<unsigned char>(rng.Next(16));
-  unsigned short out[32];
-  for (auto _ : state) {
-    vdb::simd::QuickAdcBlockScalar(luts.data(), codes.data(), m, out);
-    benchmark::DoNotOptimize(out[0]);
-  }
-  state.SetItemsProcessed(state.iterations() * 32);  // vectors scanned
-}
-BENCHMARK(BM_QuickAdcScalar)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_QuickAdcAvx2(benchmark::State& state) {
-  std::size_t m = state.range(0);
-  Rng rng(5);
-  std::vector<unsigned char> luts(m * 16), codes(m * 32);
-  for (auto& b : luts) b = static_cast<unsigned char>(rng.Next(256));
-  for (auto& b : codes) b = static_cast<unsigned char>(rng.Next(16));
-  unsigned short out[32];
-  for (auto _ : state) {
-    vdb::simd::QuickAdcBlockAvx2(luts.data(), codes.data(), m, out);
-    benchmark::DoNotOptimize(out[0]);
-  }
-  state.SetItemsProcessed(state.iterations() * 32);
-}
-BENCHMARK(BM_QuickAdcAvx2)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_FullDistSameDim(benchmark::State& state) {
-  std::size_t m = state.range(0);
-  std::size_t dim = 8 * m;  // PQ with dsub=8 covers the same vector
-  FloatMatrix data = MakeVectors(256, dim);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        vdb::simd::L2Sq(data.row(i % 255), data.row(i % 255 + 1), dim));
-    ++i;
+void BenchQuickAdc(bench::JsonReport* report) {
+  for (std::size_t m : {std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+    Rng rng(5);
+    std::vector<unsigned char> luts(m * 16), codes(m * 32);
+    for (auto& b : luts) b = static_cast<unsigned char>(rng.Next(256));
+    for (auto& b : codes) b = static_cast<unsigned char>(rng.Next(16));
+    unsigned short out[32];
+    std::string shape = "m=" + std::to_string(m);
+    for (const Tier& t : Tiers()) {
+      if (!t.available) continue;
+      std::string tier = t.name;
+      Report(report, "quick_adc_block32", tier, shape, NsPerCall([&, tier] {
+               if (tier == "scalar") {
+                 simd::QuickAdcBlockScalar(luts.data(), codes.data(), m, out);
+               } else if (tier == "avx2") {
+                 simd::QuickAdcBlockAvx2(luts.data(), codes.data(), m, out);
+               } else {
+                 simd::QuickAdcBlockAvx512(luts.data(), codes.data(), m, out);
+               }
+               g_sink += out[0] + out[31];
+             }));
+    }
   }
 }
-BENCHMARK(BM_FullDistSameDim)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
+}  // namespace vdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace vdb;
+  bench::Header("E8", "SIMD kernel tiers: scalar vs AVX2 vs AVX-512, "
+                      "single-pair vs batched, ADC vs full precision");
+  std::printf("active tier: %s\n", simd::TierName(simd::ActiveTier()));
+  std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  bench::JsonReport report("E8-simd");
+  bench::JsonReport* rp = json_path.empty() ? nullptr : &report;
+
+  BenchSinglePair(rp);
+  BenchBatch(rp);
+  BenchAdc(rp);
+  BenchQuickAdc(rp);
+
+  std::printf("(sink=%g)\n", g_sink);
+  if (!json_path.empty() && !report.WriteTo(json_path)) return 1;
+  return 0;
+}

@@ -62,6 +62,15 @@ class Scorer {
     return Distance(a.data(), b.data());
   }
 
+  /// Batched distance: out[i] = Distance(query, base + ids[i]*dim) for the
+  /// `n` gathered rows of a row-major matrix. For L2 and inner product this
+  /// routes through the one-query-vs-many SIMD kernels (bit-identical per
+  /// row to `Distance` on the same machine); other metrics fall back to a
+  /// per-row loop, so callers may batch unconditionally.
+  void DistanceBatch(const float* query, const float* base,
+                     const std::uint32_t* ids, std::size_t n,
+                     float* out) const;
+
   /// Maps an internal distance back to the user-facing score of the metric
   /// (e.g. inner product similarity, cosine similarity).
   float ToUserScore(float dist) const;

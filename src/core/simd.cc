@@ -2,12 +2,46 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's AVX-512 reduce intrinsics expand _mm256_undefined_pd() through
+// always_inline, which -Werror=uninitialized misflags (GCC PR 105593).
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace vdb::simd {
 
 bool HasAvx2() {
   static const bool has = __builtin_cpu_supports("avx2") &&
                           __builtin_cpu_supports("fma");
   return has;
+}
+
+bool HasAvx512() {
+  // F covers 16-wide float FMA + gathers; BW covers the byte shuffles and
+  // uint8->uint16 widening of the FastScan path. FMA rides along with F on
+  // every AVX-512 part, but check it anyway for the fused kernels.
+  static const bool has = __builtin_cpu_supports("avx512f") &&
+                          __builtin_cpu_supports("avx512bw") &&
+                          __builtin_cpu_supports("fma");
+  return has;
+}
+
+DispatchTier ActiveTier() {
+  if (HasAvx512()) return DispatchTier::kAvx512;
+  if (HasAvx2()) return DispatchTier::kAvx2;
+  return DispatchTier::kScalar;
+}
+
+const char* TierName(DispatchTier tier) {
+  switch (tier) {
+    case DispatchTier::kScalar: return "scalar";
+    case DispatchTier::kAvx2: return "avx2";
+    case DispatchTier::kAvx512: return "avx512";
+  }
+  return "unknown";
 }
 
 // The scalar kernels are the honest pre-SIMD baseline the paper's hardware
@@ -101,18 +135,308 @@ float NormSqAvx2(const float* a, std::size_t dim) {
   return InnerProductAvx2(a, a, dim);
 }
 
+__attribute__((target("avx512f,fma")))
+float L2SqAvx512(const float* a, const float* b, std::size_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m512 va = _mm512_loadu_ps(a + i);
+    __m512 vb = _mm512_loadu_ps(b + i);
+    __m512 d = _mm512_sub_ps(va, vb);
+    acc = _mm512_fmadd_ps(d, d, acc);
+  }
+  float total = _mm512_reduce_add_ps(acc);
+  for (; i < dim; ++i) {
+    float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+__attribute__((target("avx512f,fma")))
+float InnerProductAvx512(const float* a, const float* b, std::size_t dim) {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m512 va = _mm512_loadu_ps(a + i);
+    __m512 vb = _mm512_loadu_ps(b + i);
+    acc = _mm512_fmadd_ps(va, vb, acc);
+  }
+  float total = _mm512_reduce_add_ps(acc);
+  for (; i < dim; ++i) total += a[i] * b[i];
+  return total;
+}
+
+__attribute__((target("avx512f,fma")))
+float NormSqAvx512(const float* a, std::size_t dim) {
+  return InnerProductAvx512(a, a, dim);
+}
+
 float L2Sq(const float* a, const float* b, std::size_t dim) {
+  if (HasAvx512()) return L2SqAvx512(a, b, dim);
   return HasAvx2() ? L2SqAvx2(a, b, dim) : L2SqScalar(a, b, dim);
 }
 
 float InnerProduct(const float* a, const float* b, std::size_t dim) {
+  if (HasAvx512()) return InnerProductAvx512(a, b, dim);
   return HasAvx2() ? InnerProductAvx2(a, b, dim)
                    : InnerProductScalar(a, b, dim);
 }
 
 float NormSq(const float* a, std::size_t dim) {
+  if (HasAvx512()) return NormSqAvx512(a, dim);
   return HasAvx2() ? NormSqAvx2(a, dim) : NormSqScalar(a, dim);
 }
+
+// ------------------------------------------------- one-query-vs-many batch
+//
+// Four database rows per iteration share each query-register load; every
+// row keeps its own accumulator fed in the same element order as the
+// single-pair kernel of the tier, so per-row results are bit-identical to
+// that kernel (the parity the prefetch-ablation test relies on).
+
+namespace {
+
+__attribute__((target("avx2,fma")))
+void L2SqX4Avx2(const float* q, const float* r0, const float* r1,
+                const float* r2, const float* r3, std::size_t dim,
+                float* out) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256 vq = _mm256_loadu_ps(q + i);
+    __m256 d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(r0 + i));
+    __m256 d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(r1 + i));
+    __m256 d2 = _mm256_sub_ps(vq, _mm256_loadu_ps(r2 + i));
+    __m256 d3 = _mm256_sub_ps(vq, _mm256_loadu_ps(r3 + i));
+    a0 = _mm256_fmadd_ps(d0, d0, a0);
+    a1 = _mm256_fmadd_ps(d1, d1, a1);
+    a2 = _mm256_fmadd_ps(d2, d2, a2);
+    a3 = _mm256_fmadd_ps(d3, d3, a3);
+  }
+  out[0] = HorizontalSum(a0);
+  out[1] = HorizontalSum(a1);
+  out[2] = HorizontalSum(a2);
+  out[3] = HorizontalSum(a3);
+  for (; i < dim; ++i) {
+    float q_i = q[i];
+    float d0 = q_i - r0[i], d1 = q_i - r1[i];
+    float d2 = q_i - r2[i], d3 = q_i - r3[i];
+    out[0] += d0 * d0;
+    out[1] += d1 * d1;
+    out[2] += d2 * d2;
+    out[3] += d3 * d3;
+  }
+}
+
+__attribute__((target("avx2,fma")))
+void IpX4Avx2(const float* q, const float* r0, const float* r1,
+              const float* r2, const float* r3, std::size_t dim, float* out) {
+  __m256 a0 = _mm256_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
+  std::size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256 vq = _mm256_loadu_ps(q + i);
+    a0 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r0 + i), a0);
+    a1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r1 + i), a1);
+    a2 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r2 + i), a2);
+    a3 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r3 + i), a3);
+  }
+  out[0] = HorizontalSum(a0);
+  out[1] = HorizontalSum(a1);
+  out[2] = HorizontalSum(a2);
+  out[3] = HorizontalSum(a3);
+  for (; i < dim; ++i) {
+    float q_i = q[i];
+    out[0] += q_i * r0[i];
+    out[1] += q_i * r1[i];
+    out[2] += q_i * r2[i];
+    out[3] += q_i * r3[i];
+  }
+}
+
+__attribute__((target("avx512f,fma")))
+void L2SqX4Avx512(const float* q, const float* r0, const float* r1,
+                  const float* r2, const float* r3, std::size_t dim,
+                  float* out) {
+  __m512 a0 = _mm512_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m512 vq = _mm512_loadu_ps(q + i);
+    __m512 d0 = _mm512_sub_ps(vq, _mm512_loadu_ps(r0 + i));
+    __m512 d1 = _mm512_sub_ps(vq, _mm512_loadu_ps(r1 + i));
+    __m512 d2 = _mm512_sub_ps(vq, _mm512_loadu_ps(r2 + i));
+    __m512 d3 = _mm512_sub_ps(vq, _mm512_loadu_ps(r3 + i));
+    a0 = _mm512_fmadd_ps(d0, d0, a0);
+    a1 = _mm512_fmadd_ps(d1, d1, a1);
+    a2 = _mm512_fmadd_ps(d2, d2, a2);
+    a3 = _mm512_fmadd_ps(d3, d3, a3);
+  }
+  out[0] = _mm512_reduce_add_ps(a0);
+  out[1] = _mm512_reduce_add_ps(a1);
+  out[2] = _mm512_reduce_add_ps(a2);
+  out[3] = _mm512_reduce_add_ps(a3);
+  for (; i < dim; ++i) {
+    float q_i = q[i];
+    float d0 = q_i - r0[i], d1 = q_i - r1[i];
+    float d2 = q_i - r2[i], d3 = q_i - r3[i];
+    out[0] += d0 * d0;
+    out[1] += d1 * d1;
+    out[2] += d2 * d2;
+    out[3] += d3 * d3;
+  }
+}
+
+__attribute__((target("avx512f,fma")))
+void IpX4Avx512(const float* q, const float* r0, const float* r1,
+                const float* r2, const float* r3, std::size_t dim,
+                float* out) {
+  __m512 a0 = _mm512_setzero_ps(), a1 = a0, a2 = a0, a3 = a0;
+  std::size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    __m512 vq = _mm512_loadu_ps(q + i);
+    a0 = _mm512_fmadd_ps(vq, _mm512_loadu_ps(r0 + i), a0);
+    a1 = _mm512_fmadd_ps(vq, _mm512_loadu_ps(r1 + i), a1);
+    a2 = _mm512_fmadd_ps(vq, _mm512_loadu_ps(r2 + i), a2);
+    a3 = _mm512_fmadd_ps(vq, _mm512_loadu_ps(r3 + i), a3);
+  }
+  out[0] = _mm512_reduce_add_ps(a0);
+  out[1] = _mm512_reduce_add_ps(a1);
+  out[2] = _mm512_reduce_add_ps(a2);
+  out[3] = _mm512_reduce_add_ps(a3);
+  for (; i < dim; ++i) {
+    float q_i = q[i];
+    out[0] += q_i * r0[i];
+    out[1] += q_i * r1[i];
+    out[2] += q_i * r2[i];
+    out[3] += q_i * r3[i];
+  }
+}
+
+using X4Fn = void (*)(const float*, const float*, const float*, const float*,
+                      const float*, std::size_t, float*);
+using X1Fn = float (*)(const float*, const float*, std::size_t);
+
+/// Shared batch driver: 4-row blocks through `four`, remainder through
+/// `one`, prefetching the next block's rows one iteration ahead so the
+/// gather's cache misses overlap the current block's FMAs. `row(i)` maps
+/// a batch position to its row pointer (contiguous or gathered).
+template <typename RowFn>
+void BatchLoop(const float* q, std::size_t dim, std::size_t n, RowFn row,
+               float* out, X1Fn one, X4Fn four) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    std::size_t ahead_end = std::min(n, i + 8);
+    for (std::size_t p = i + 4; p < ahead_end; ++p) {
+      PrefetchFloats(row(p), dim);
+    }
+    four(q, row(i), row(i + 1), row(i + 2), row(i + 3), dim, out + i);
+  }
+  for (; i < n; ++i) out[i] = one(q, row(i), dim);
+}
+
+}  // namespace
+
+void L2SqBatchGatherScalar(const float* q, const float* base, std::size_t dim,
+                           const std::uint32_t* ids, std::size_t n,
+                           float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = L2SqScalar(q, base + std::size_t{ids[i]} * dim, dim);
+  }
+}
+
+void InnerProductBatchGatherScalar(const float* q, const float* base,
+                                   std::size_t dim, const std::uint32_t* ids,
+                                   std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = InnerProductScalar(q, base + std::size_t{ids[i]} * dim, dim);
+  }
+}
+
+void L2SqBatchGatherAvx2(const float* q, const float* base, std::size_t dim,
+                         const std::uint32_t* ids, std::size_t n,
+                         float* out) {
+  auto row = [&](std::size_t i) { return base + std::size_t{ids[i]} * dim; };
+  BatchLoop(q, dim, n, row, out, &L2SqAvx2, &L2SqX4Avx2);
+}
+
+void InnerProductBatchGatherAvx2(const float* q, const float* base,
+                                 std::size_t dim, const std::uint32_t* ids,
+                                 std::size_t n, float* out) {
+  auto row = [&](std::size_t i) { return base + std::size_t{ids[i]} * dim; };
+  BatchLoop(q, dim, n, row, out, &InnerProductAvx2, &IpX4Avx2);
+}
+
+void L2SqBatchGatherAvx512(const float* q, const float* base, std::size_t dim,
+                           const std::uint32_t* ids, std::size_t n,
+                           float* out) {
+  auto row = [&](std::size_t i) { return base + std::size_t{ids[i]} * dim; };
+  BatchLoop(q, dim, n, row, out, &L2SqAvx512, &L2SqX4Avx512);
+}
+
+void InnerProductBatchGatherAvx512(const float* q, const float* base,
+                                   std::size_t dim, const std::uint32_t* ids,
+                                   std::size_t n, float* out) {
+  auto row = [&](std::size_t i) { return base + std::size_t{ids[i]} * dim; };
+  BatchLoop(q, dim, n, row, out, &InnerProductAvx512, &IpX4Avx512);
+}
+
+void L2SqBatchGather(const float* q, const float* base, std::size_t dim,
+                     const std::uint32_t* ids, std::size_t n, float* out) {
+  switch (ActiveTier()) {
+    case DispatchTier::kAvx512:
+      return L2SqBatchGatherAvx512(q, base, dim, ids, n, out);
+    case DispatchTier::kAvx2:
+      return L2SqBatchGatherAvx2(q, base, dim, ids, n, out);
+    case DispatchTier::kScalar:
+      return L2SqBatchGatherScalar(q, base, dim, ids, n, out);
+  }
+}
+
+void InnerProductBatchGather(const float* q, const float* base,
+                             std::size_t dim, const std::uint32_t* ids,
+                             std::size_t n, float* out) {
+  switch (ActiveTier()) {
+    case DispatchTier::kAvx512:
+      return InnerProductBatchGatherAvx512(q, base, dim, ids, n, out);
+    case DispatchTier::kAvx2:
+      return InnerProductBatchGatherAvx2(q, base, dim, ids, n, out);
+    case DispatchTier::kScalar:
+      return InnerProductBatchGatherScalar(q, base, dim, ids, n, out);
+  }
+}
+
+void L2SqBatch(const float* q, const float* rows, std::size_t dim,
+               std::size_t n, float* out) {
+  auto row = [&](std::size_t i) { return rows + i * dim; };
+  switch (ActiveTier()) {
+    case DispatchTier::kAvx512:
+      return BatchLoop(q, dim, n, row, out, &L2SqAvx512, &L2SqX4Avx512);
+    case DispatchTier::kAvx2:
+      return BatchLoop(q, dim, n, row, out, &L2SqAvx2, &L2SqX4Avx2);
+    case DispatchTier::kScalar:
+      for (std::size_t i = 0; i < n; ++i) out[i] = L2SqScalar(q, row(i), dim);
+      return;
+  }
+}
+
+void InnerProductBatch(const float* q, const float* rows, std::size_t dim,
+                       std::size_t n, float* out) {
+  auto row = [&](std::size_t i) { return rows + i * dim; };
+  switch (ActiveTier()) {
+    case DispatchTier::kAvx512:
+      return BatchLoop(q, dim, n, row, out, &InnerProductAvx512,
+                       &IpX4Avx512);
+    case DispatchTier::kAvx2:
+      return BatchLoop(q, dim, n, row, out, &InnerProductAvx2, &IpX4Avx2);
+    case DispatchTier::kScalar:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = InnerProductScalar(q, row(i), dim);
+      }
+      return;
+  }
+}
+
+// ------------------------------------------------------------ FastScan/ADC
 
 VDB_NO_VECTORIZE
 void QuickAdcBlockScalar(const unsigned char* luts,
@@ -161,21 +485,69 @@ void QuickAdcBlockAvx2(const unsigned char* luts, const unsigned char* codes,
   }
 }
 
+__attribute__((target("avx2,avx512f,avx512bw")))
+void QuickAdcBlockAvx512(const unsigned char* luts,
+                         const unsigned char* codes, std::size_t m,
+                         unsigned short* out) {
+  // One uint16x32 accumulator covers the whole block; the order-preserving
+  // zero-extension (vpmovzxbw) replaces the AVX2 path's unpack shuffle
+  // dance, so the accumulator can be stored straight to `out`.
+  __m512i acc = _mm512_setzero_si512();
+  const __m256i nibble_mask = _mm256_set1_epi8(0x0F);
+  for (std::size_t j = 0; j < m; ++j) {
+    __m128i lut128 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(luts + j * 16));
+    __m256i lut = _mm256_broadcastsi128_si256(lut128);
+    __m256i code =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + j * 32));
+    code = _mm256_and_si256(code, nibble_mask);
+    __m256i vals = _mm256_shuffle_epi8(lut, code);
+    acc = _mm512_add_epi16(acc, _mm512_cvtepu8_epi16(vals));
+  }
+  _mm512_storeu_si512(out, acc);
+}
+
 void QuickAdcBlock(const unsigned char* luts, const unsigned char* codes,
                    std::size_t m, unsigned short* out) {
-  if (HasAvx2()) {
-    QuickAdcBlockAvx2(luts, codes, m, out);
-  } else {
-    QuickAdcBlockScalar(luts, codes, m, out);
+  switch (ActiveTier()) {
+    case DispatchTier::kAvx512:
+      return QuickAdcBlockAvx512(luts, codes, m, out);
+    case DispatchTier::kAvx2:
+      return QuickAdcBlockAvx2(luts, codes, m, out);
+    case DispatchTier::kScalar:
+      return QuickAdcBlockScalar(luts, codes, m, out);
   }
+}
+
+__attribute__((target("avx512f,avx512bw")))
+float AdcLookupAvx512(const float* tables, const unsigned char* codes,
+                      std::size_t m, std::size_t ksub) {
+  // 16 subspaces per gather: lane l of block j reads
+  // tables[(j+l)*ksub + codes[j+l]] = (tables + j*ksub)[l*ksub + code].
+  __m512 acc = _mm512_setzero_ps();
+  const __m512i lane_ramp = _mm512_mullo_epi32(
+      _mm512_set_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0),
+      _mm512_set1_epi32(static_cast<int>(ksub)));
+  std::size_t j = 0;
+  for (; j + 16 <= m; j += 16) {
+    __m128i code8 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j));
+    __m512i idx = _mm512_add_epi32(lane_ramp, _mm512_cvtepu8_epi32(code8));
+    acc = _mm512_add_ps(
+        acc, _mm512_i32gather_ps(idx, tables + j * ksub, sizeof(float)));
+  }
+  float total = _mm512_reduce_add_ps(acc);
+  for (; j < m; ++j) total += tables[j * ksub + codes[j]];
+  return total;
 }
 
 float AdcLookup(const float* tables, const unsigned char* codes,
                 std::size_t m, std::size_t ksub) {
-  // Gather-style lookups do not beat scalar table walks for small m, and
-  // the table rows are not interleaved for in-register shuffles here; the
-  // dispatched path simply unrolls. The register-resident SIMD shuffle
-  // variant (Quick ADC) is modeled in quant/pq.cc via 4-bit codes.
+  // The gather amortizes only when a full 16-subspace block exists; for
+  // small m the scalar unrolled walk stays ahead of gather latency. The
+  // register-resident SIMD shuffle variant (Quick ADC) is modeled in
+  // quant/pq.cc via 4-bit codes.
+  if (m >= 16 && HasAvx512()) return AdcLookupAvx512(tables, codes, m, ksub);
   float acc0 = 0.0f, acc1 = 0.0f;
   std::size_t j = 0;
   for (; j + 2 <= m; j += 2) {

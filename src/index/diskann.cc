@@ -75,11 +75,9 @@ Status DiskAnnIndex::Build(const FloatMatrix& data,
   return Status::Ok();
 }
 
-Status DiskAnnIndex::ReadNode(std::uint32_t idx, NodeBlock* node) const {
-  std::vector<std::uint8_t> page(opts_.file.page_size);
-  VDB_RETURN_IF_ERROR(file_->ReadPage(idx / nodes_per_page_, page.data()));
-  const std::uint8_t* at =
-      page.data() + (idx % nodes_per_page_) * node_stride_;
+void DiskAnnIndex::ParseNode(const std::uint8_t* page, std::uint32_t idx,
+                             NodeBlock* node) const {
+  const std::uint8_t* at = page + (idx % nodes_per_page_) * node_stride_;
   std::uint32_t degree;
   std::memcpy(&degree, at, sizeof(degree));
   at += sizeof(degree);
@@ -88,6 +86,27 @@ Status DiskAnnIndex::ReadNode(std::uint32_t idx, NodeBlock* node) const {
   at += opts_.vamana.r * sizeof(std::uint32_t);
   node->vec.resize(dim_);
   std::memcpy(node->vec.data(), at, dim_ * sizeof(float));
+}
+
+Status DiskAnnIndex::ReadNode(std::uint32_t idx, NodeBlock* node) const {
+  std::vector<std::uint8_t> page(opts_.file.page_size);
+  VDB_RETURN_IF_ERROR(file_->ReadPage(idx / nodes_per_page_, page.data()));
+  ParseNode(page.data(), idx, node);
+  return Status::Ok();
+}
+
+Status DiskAnnIndex::ReadNodes(std::span<const std::uint32_t> idxs,
+                               std::vector<NodeBlock>* nodes) const {
+  nodes->resize(idxs.size());
+  std::vector<std::uint64_t> pages(idxs.size());
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    pages[i] = idxs[i] / nodes_per_page_;
+  }
+  std::vector<std::uint8_t> bufs(idxs.size() * opts_.file.page_size);
+  VDB_RETURN_IF_ERROR(file_->ReadPages(pages, bufs.data()));
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    ParseNode(bufs.data() + i * opts_.file.page_size, idxs[i], &(*nodes)[i]);
+  }
   return Status::Ok();
 }
 
@@ -151,16 +170,20 @@ Status DiskAnnIndex::SearchImpl(const float* query,
 
   // Exact distances of expanded (read) nodes, for final re-ranking.
   TopK exact(std::max(params.k, ef));
-  NodeBlock node;
+  std::vector<NodeBlock> nodes;
   while (true) {
     std::vector<std::uint32_t> batch;
     for (std::size_t i = 0; i < cands.size() && batch.size() < beam; ++i) {
       if (!expanded.Test(cands[i].idx)) batch.push_back(cands[i].idx);
     }
     if (batch.empty()) break;
-    for (std::uint32_t idx : batch) {
+    // One coalesced batch read for the whole beam: B candidates cost
+    // O(page runs) syscalls and one PagedFile lock acquisition.
+    VDB_RETURN_IF_ERROR(ReadNodes(batch, &nodes));
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      std::uint32_t idx = batch[b];
+      const NodeBlock& node = nodes[b];
       expanded.Set(idx);
-      VDB_RETURN_IF_ERROR(ReadNode(idx, &node));
       if (stats != nullptr) ++stats->nodes_visited;
       float dist = scorer_.Distance(query, node.vec.data());
       if (stats != nullptr) ++stats->distance_comps;

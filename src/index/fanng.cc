@@ -109,7 +109,9 @@ Status FanngIndex::SearchImpl(const float* query, const SearchParams& params,
       [this, &params, stats](std::uint32_t u) {
         return Admissible(u, params, stats);
       },
-      stats);
+      stats, nullptr,
+      graph::MakeDenseBeamBatch(scorer_, data_.data(), dim(), adjacency_,
+                                query, params.prefetch_depth));
   out->clear();
   for (std::size_t i = 0; i < std::min(params.k, results.size()); ++i) {
     out->push_back({labels_[results[i].idx], results[i].dist});

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/simd.h"
 #include "core/types.h"
 #include "index/index.h"
 
@@ -23,6 +24,66 @@ struct Cand {
   }
   friend bool operator>(const Cand& a, const Cand& b) { return b < a; }
 };
+
+/// Default number of neighbors whose memory is prefetched per expansion
+/// (SearchParams::prefetch_depth < 0 resolves to this).
+inline constexpr int kDefaultPrefetchDepth = 8;
+
+/// Resolves the SearchParams::prefetch_depth knob.
+inline int ResolvePrefetchDepth(int knob) {
+  return knob < 0 ? kDefaultPrefetchDepth : knob;
+}
+
+/// Disables batch scoring in BeamSearch (the default context): neighbors
+/// are scored one at a time through `dist`, with no prefetching.
+struct NoBeamBatch {
+  static constexpr bool kBatched = false;
+};
+
+/// Batch-scoring context for BeamSearch. `score(ids, n, out)` evaluates
+/// the query against `n` nodes at once (must equal `dist(ids[i])` per
+/// row); `prefetch(u)` issues software prefetches for node u's vector and
+/// adjacency list; `depth` caps prefetches per expansion (0 = off).
+/// Batching is a pure hot-path transform: BeamSearch visits, scores, and
+/// admits in exactly the original order, so results and SearchStats are
+/// unchanged.
+template <typename ScoreBatchFn, typename PrefetchFn>
+struct BeamBatch {
+  static constexpr bool kBatched = true;
+  ScoreBatchFn score;
+  PrefetchFn prefetch;
+  int depth;
+};
+
+template <typename ScoreBatchFn, typename PrefetchFn>
+BeamBatch<ScoreBatchFn, PrefetchFn> MakeBeamBatch(ScoreBatchFn score,
+                                                  PrefetchFn prefetch,
+                                                  int depth_knob) {
+  return {std::move(score), std::move(prefetch),
+          ResolvePrefetchDepth(depth_knob)};
+}
+
+/// The common BeamBatch over a dense row-major vector store plus a flat
+/// per-node adjacency container (`adjacency[u]` is a contiguous list of
+/// uint32 neighbor ids): NSW, Vamana, KNN-graph, FANNG, and DiskANN's
+/// in-memory tier all qualify. `base`/`query`/`adjacency` must outlive
+/// the BeamSearch call.
+template <typename AdjT>
+auto MakeDenseBeamBatch(const Scorer& scorer, const float* base,
+                        std::size_t dim, const AdjT& adjacency,
+                        const float* query, int depth_knob) {
+  return MakeBeamBatch(
+      [&scorer, base, query](const std::uint32_t* ids, std::size_t n,
+                             float* out) {
+        scorer.DistanceBatch(query, base, ids, n, out);
+      },
+      [base, dim, &adjacency](std::uint32_t u) {
+        simd::PrefetchFloats(base + std::size_t{u} * dim, dim);
+        const auto& adj = adjacency[u];
+        simd::PrefetchBytes(adj.data(), adj.size() * sizeof(std::uint32_t));
+      },
+      depth_knob);
+}
 
 /// Best-first ("beam") search over an adjacency structure — the single
 /// search procedure shared by every graph index (KNNG, NSW, HNSW layer 0,
@@ -42,17 +103,22 @@ struct Cand {
 /// was expanded, in expansion order — DiskANN's visited set V, whose
 /// far-from-target path nodes are exactly what alpha-RNG pruning turns
 /// into the long edges that keep the graph navigable.
-template <typename NeighborsFn, typename DistFn, typename AdmitFn>
+template <typename NeighborsFn, typename DistFn, typename AdmitFn,
+          typename BatchCtx = NoBeamBatch>
 std::vector<Cand> BeamSearch(std::span<const std::uint32_t> entries,
                              std::size_t ef, std::size_t num_nodes,
                              FilterMode mode, NeighborsFn&& neighbors,
                              DistFn&& dist, AdmitFn&& admit,
                              SearchStats* stats,
-                             std::vector<Cand>* expanded_out = nullptr) {
+                             std::vector<Cand>* expanded_out = nullptr,
+                             BatchCtx batch = {}) {
   std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> frontier;
   // Admissible results, worst on top (bounded by ef).
   std::priority_queue<Cand> results;
   Bitset visited(num_nodes);
+  // Expansion scratch for the batched path, reused across hops.
+  [[maybe_unused]] std::vector<std::uint32_t> pending;
+  [[maybe_unused]] std::vector<float> pending_dist;
 
   auto lower_bound = [&] {
     return results.size() >= ef ? results.top().dist
@@ -81,17 +147,51 @@ std::vector<Cand> BeamSearch(std::span<const std::uint32_t> entries,
       ++stats->nodes_visited;
     }
     if (expanded_out != nullptr) expanded_out->push_back(c);
-    for (std::uint32_t nb : neighbors(c.idx)) {
-      if (visited.Test(nb)) continue;
-      visited.Set(nb);
-      if (mode == FilterMode::kBlockFirst && !admit(nb)) continue;
-      float d = dist(nb);
-      if (stats != nullptr) ++stats->distance_comps;
-      if (d < lower_bound() || results.size() < ef) {
-        frontier.push({d, nb});
-        if (admit(nb)) {
-          results.push({d, nb});
-          while (results.size() > ef) results.pop();
+    if constexpr (BatchCtx::kBatched) {
+      // Two-pass expansion (memory-level parallelism): collect the
+      // unvisited admissible neighbors, prefetch their vectors so the
+      // gather's cache misses overlap, then score the whole batch through
+      // the one-query-vs-many kernel. Collection, scoring, and admission
+      // happen in the same neighbor order as the unbatched loop below, so
+      // results and SearchStats are identical.
+      pending.clear();
+      for (std::uint32_t nb : neighbors(c.idx)) {
+        if (visited.Test(nb)) continue;
+        visited.Set(nb);
+        if (mode == FilterMode::kBlockFirst && !admit(nb)) continue;
+        pending.push_back(nb);
+      }
+      std::size_t pf =
+          std::min(pending.size(), static_cast<std::size_t>(
+                                       batch.depth < 0 ? 0 : batch.depth));
+      for (std::size_t i = 0; i < pf; ++i) batch.prefetch(pending[i]);
+      pending_dist.resize(pending.size());
+      batch.score(pending.data(), pending.size(), pending_dist.data());
+      if (stats != nullptr) stats->distance_comps += pending.size();
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        float d = pending_dist[i];
+        std::uint32_t nb = pending[i];
+        if (d < lower_bound() || results.size() < ef) {
+          frontier.push({d, nb});
+          if (admit(nb)) {
+            results.push({d, nb});
+            while (results.size() > ef) results.pop();
+          }
+        }
+      }
+    } else {
+      for (std::uint32_t nb : neighbors(c.idx)) {
+        if (visited.Test(nb)) continue;
+        visited.Set(nb);
+        if (mode == FilterMode::kBlockFirst && !admit(nb)) continue;
+        float d = dist(nb);
+        if (stats != nullptr) ++stats->distance_comps;
+        if (d < lower_bound() || results.size() < ef) {
+          frontier.push({d, nb});
+          if (admit(nb)) {
+            results.push({d, nb});
+            while (results.size() > ef) results.pop();
+          }
         }
       }
     }

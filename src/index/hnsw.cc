@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.h"
 #include "index/graph_util.h"
 #include "storage/serializer.h"
 
@@ -11,6 +12,30 @@ constexpr std::uint32_t kHnswMagic = 0x56484E57;  // "VHNW"
 }  // namespace
 
 namespace vdb {
+
+namespace {
+
+/// Layer-0 batch-scoring context: gather-batch distances over the dense
+/// row store plus vector + adjacency prefetch (memory-level parallelism
+/// on the beam hot path).
+template <typename LinksT>
+auto MakeLayer0Batch(const Scorer& scorer, const float* base, std::size_t dim,
+                     const LinksT& links, const float* query,
+                     int depth_knob) {
+  return graph::MakeBeamBatch(
+      [&scorer, base, query](const std::uint32_t* ids, std::size_t n,
+                             float* out) {
+        scorer.DistanceBatch(query, base, ids, n, out);
+      },
+      [base, dim, &links](std::uint32_t u) {
+        simd::PrefetchFloats(base + std::size_t{u} * dim, dim);
+        const auto& adj = links[u][0];
+        simd::PrefetchBytes(adj.data(), adj.size() * sizeof(std::uint32_t));
+      },
+      depth_knob);
+}
+
+}  // namespace
 
 Status HnswIndex::Build(const FloatMatrix& data,
                         std::span<const VectorId> ids) {
@@ -67,7 +92,21 @@ std::vector<std::pair<float, std::uint32_t>> HnswIndex::SearchLayer(
       [this, query](std::uint32_t u) {
         return scorer_.Distance(query, vector(u));
       },
-      [](std::uint32_t) { return true; }, nullptr);
+      [](std::uint32_t) { return true; }, nullptr, nullptr,
+      graph::MakeBeamBatch(
+          [this, query](const std::uint32_t* ids, std::size_t n, float* out) {
+            scorer_.DistanceBatch(query, data_.data(), ids, n, out);
+          },
+          [this, level](std::uint32_t u) {
+            simd::PrefetchFloats(vector(u), dim());
+            const auto& per_level = links_[u];
+            if (level < static_cast<int>(per_level.size())) {
+              const auto& adj = per_level[level];
+              simd::PrefetchBytes(adj.data(),
+                                  adj.size() * sizeof(std::uint32_t));
+            }
+          },
+          /*depth_knob=*/-1));
   std::vector<std::pair<float, std::uint32_t>> out;
   out.reserve(results.size());
   for (const auto& c : results) out.emplace_back(c.dist, c.idx);
@@ -191,7 +230,9 @@ Status HnswIndex::SearchWithEntryHint(const float* query, VectorId hint,
       [this, &params, stats](std::uint32_t u) {
         return Admissible(u, params, stats);
       },
-      stats);
+      stats, nullptr,
+      MakeLayer0Batch(scorer_, data_.data(), dim(), links_, query,
+                      params.prefetch_depth));
   for (std::size_t i = 0; i < std::min(params.k, results.size()); ++i) {
     out->push_back({labels_[results[i].idx], results[i].dist});
   }
@@ -236,7 +277,9 @@ Status HnswIndex::SearchImpl(const float* query, const SearchParams& params,
       [this, &params, stats](std::uint32_t u) {
         return Admissible(u, params, stats);
       },
-      stats);
+      stats, nullptr,
+      MakeLayer0Batch(scorer_, data_.data(), dim(), links_, query,
+                      params.prefetch_depth));
   for (std::size_t i = 0; i < std::min(params.k, results.size()); ++i) {
     out->push_back({labels_[results[i].idx], results[i].dist});
   }

@@ -231,7 +231,9 @@ Status KnnGraphIndex::SearchImpl(const float* query,
       [this, &params, stats](std::uint32_t u) {
         return Admissible(u, params, stats);
       },
-      stats);
+      stats, nullptr,
+      graph::MakeDenseBeamBatch(scorer_, data_.data(), dim(), adjacency_,
+                                query, params.prefetch_depth));
   out->clear();
   for (std::size_t i = 0; i < std::min(params.k, results.size()); ++i) {
     out->push_back({labels_[results[i].idx], results[i].dist});

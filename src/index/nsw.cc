@@ -50,7 +50,9 @@ void NswIndex::Insert(std::uint32_t idx) {
       [this, idx](std::uint32_t u) {
         return scorer_.Distance(vector(idx), vector(u));
       },
-      [](std::uint32_t) { return true; }, nullptr);
+      [](std::uint32_t) { return true; }, nullptr, nullptr,
+      graph::MakeDenseBeamBatch(scorer_, data_.data(), dim(), adjacency_,
+                                vector(idx), /*depth_knob=*/-1));
   std::size_t links = std::min(opts_.m, nearest.size());
   for (std::size_t j = 0; j < links; ++j) {
     std::uint32_t nb = nearest[j].idx;
@@ -77,7 +79,9 @@ Status NswIndex::SearchImpl(const float* query, const SearchParams& params,
       [this, &params, stats](std::uint32_t u) {
         return Admissible(u, params, stats);
       },
-      stats);
+      stats, nullptr,
+      graph::MakeDenseBeamBatch(scorer_, data_.data(), dim(), adjacency_,
+                                query, params.prefetch_depth));
   out->clear();
   for (std::size_t i = 0; i < std::min(params.k, results.size()); ++i) {
     out->push_back({labels_[results[i].idx], results[i].dist});

@@ -120,7 +120,11 @@ Status SpannIndex::SearchImpl(const float* query, const SearchParams& params,
 
   const std::size_t epp = EntriesPerPage();
   const std::size_t entry_size = sizeof(std::uint32_t) + dim_ * sizeof(float);
-  std::vector<std::uint8_t> page(opts_.file.page_size);
+  // Posting pages are consecutive on disk, so each batched read below
+  // coalesces into a single positioned read (chunked to bound memory).
+  constexpr std::size_t kChunkPages = 64;
+  std::vector<std::uint64_t> page_ids;
+  std::vector<std::uint8_t> chunk(kChunkPages * opts_.file.page_size);
   Bitset seen(labels_.size());
   TopK top(params.k);
   for (std::uint32_t c : order) {
@@ -131,24 +135,33 @@ Status SpannIndex::SearchImpl(const float* query, const SearchParams& params,
     if (stats != nullptr) ++stats->nodes_visited;
     const Posting& posting = postings_[c];
     std::size_t pages = (posting.num_entries + epp - 1) / epp;
-    for (std::size_t p = 0; p < pages; ++p) {
-      VDB_RETURN_IF_ERROR(file_->ReadPage(posting.first_page + p, page.data()));
-      std::size_t count = std::min(epp, posting.num_entries - p * epp);
-      for (std::size_t e = 0; e < count; ++e) {
-        const std::uint8_t* at = page.data() + e * entry_size;
-        std::uint32_t idx;
-        std::memcpy(&idx, at, sizeof(idx));
-        if (seen.Test(idx)) continue;  // closure duplicates
-        seen.Set(idx);
-        if (deleted_.Test(idx)) continue;
-        if (params.filter != nullptr) {
-          if (stats != nullptr) ++stats->filter_checks;
-          if (!params.filter->Matches(labels_[idx])) continue;
+    for (std::size_t p0 = 0; p0 < pages; p0 += kChunkPages) {
+      std::size_t chunk_pages = std::min(kChunkPages, pages - p0);
+      page_ids.resize(chunk_pages);
+      for (std::size_t i = 0; i < chunk_pages; ++i) {
+        page_ids[i] = posting.first_page + p0 + i;
+      }
+      VDB_RETURN_IF_ERROR(file_->ReadPages(page_ids, chunk.data()));
+      for (std::size_t i = 0; i < chunk_pages; ++i) {
+        const std::uint8_t* page = chunk.data() + i * opts_.file.page_size;
+        std::size_t p = p0 + i;
+        std::size_t count = std::min(epp, posting.num_entries - p * epp);
+        for (std::size_t e = 0; e < count; ++e) {
+          const std::uint8_t* at = page + e * entry_size;
+          std::uint32_t idx;
+          std::memcpy(&idx, at, sizeof(idx));
+          if (seen.Test(idx)) continue;  // closure duplicates
+          seen.Set(idx);
+          if (deleted_.Test(idx)) continue;
+          if (params.filter != nullptr) {
+            if (stats != nullptr) ++stats->filter_checks;
+            if (!params.filter->Matches(labels_[idx])) continue;
+          }
+          const float* vec = reinterpret_cast<const float*>(at + sizeof(idx));
+          float dist = scorer_.Distance(query, vec);
+          if (stats != nullptr) ++stats->distance_comps;
+          top.Push(labels_[idx], dist);
         }
-        const float* vec = reinterpret_cast<const float*>(at + sizeof(idx));
-        float dist = scorer_.Distance(query, vec);
-        if (stats != nullptr) ++stats->distance_comps;
-        top.Push(labels_[idx], dist);
       }
     }
   }

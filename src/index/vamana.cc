@@ -61,7 +61,9 @@ Status VamanaIndex::Build(const FloatMatrix& data,
           [this, p](std::uint32_t u) {
             return scorer_.Distance(vector(p), vector(u));
           },
-          [](std::uint32_t) { return true; }, nullptr, &expanded);
+          [](std::uint32_t) { return true; }, nullptr, &expanded,
+          graph::MakeDenseBeamBatch(scorer_, data_.data(), dim(), adjacency_,
+                                    vector(p), /*depth_knob=*/-1));
 
       std::vector<std::pair<float, std::uint32_t>> candidates;
       candidates.reserve(results.size() + expanded.size() +
@@ -170,7 +172,9 @@ Status VamanaIndex::SearchImpl(const float* query, const SearchParams& params,
       [this, &params, stats](std::uint32_t u) {
         return Admissible(u, params, stats);
       },
-      stats);
+      stats, nullptr,
+      graph::MakeDenseBeamBatch(scorer_, data_.data(), dim(), adjacency_,
+                                query, params.prefetch_depth));
   out->clear();
   for (std::size_t i = 0; i < std::min(params.k, results.size()); ++i) {
     out->push_back({labels_[results[i].idx], results[i].dist});

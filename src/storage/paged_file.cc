@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -78,49 +79,128 @@ void PagedFile::CacheInsert(std::uint64_t page_id, const std::uint8_t* buf) {
   cache_.emplace(page_id, std::move(entry));
 }
 
-Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (page_id >= num_pages_) {
-    return Status::OutOfRange("page beyond end of file");
-  }
+Status PagedFile::ReadRunLocked(std::uint64_t first_page, std::size_t npages,
+                                std::uint8_t* buf) {
   auto& reg = Registry::Global();
-  static Counter& cache_hit_count =
-      reg.GetCounter("vdb_paged_file_cache_hits_total");
   static Counter& read_count = reg.GetCounter("vdb_paged_file_reads_total");
   static Counter& read_failures =
       reg.GetCounter("vdb_paged_file_read_failures_total");
-  if (CacheLookup(page_id, buf)) {
-    cache_hit_count.Inc();
-    return Status::Ok();
-  }
   if (fault_after_ >= 0) {
-    if (fault_after_ == 0) {
+    if (fault_after_ < static_cast<std::int64_t>(npages)) {
+      // Sticky, like the single-page path: once tripped, every later
+      // physical read fails until re-armed.
+      fault_after_ = 0;
       read_failures.Inc();
       return Status::IoError("injected read fault");
     }
-    --fault_after_;
+    fault_after_ -= static_cast<std::int64_t>(npages);
   }
   if (FailpointFires("paged_file.read.fail")) {
     read_failures.Inc();
     return Status::IoError("injected failure: paged_file.read.fail");
   }
-  Status read_status =
-      posix_io::PreadFully(fd_, buf, opts_.page_size,
-                           static_cast<off_t>(page_id * opts_.page_size),
-                           ("pread page " + std::to_string(page_id)).c_str());
+  Status read_status = posix_io::PreadFully(
+      fd_, buf, npages * opts_.page_size,
+      static_cast<off_t>(first_page * opts_.page_size),
+      ("pread pages " + std::to_string(first_page) + "+" +
+       std::to_string(npages))
+          .c_str());
   if (!read_status.ok()) {
     read_failures.Inc();
     return read_status;
   }
-  ++reads_;
-  read_count.Inc();
-  if (FailpointFires("paged_file.read.corrupt")) {
-    // Media corruption: one bit flips on the way in. Intentionally not
-    // cached — upper layers (CRC-framed formats) must detect this read.
-    buf[0] ^= 0x01;
+  reads_ += npages;
+  read_count.Inc(npages);
+  for (std::size_t i = 0; i < npages; ++i) {
+    std::uint8_t* page = buf + i * opts_.page_size;
+    if (FailpointFires("paged_file.read.corrupt")) {
+      // Media corruption: one bit flips on the way in. Intentionally not
+      // cached — upper layers (CRC-framed formats) must detect this read.
+      page[0] ^= 0x01;
+      continue;
+    }
+    CacheInsert(first_page + i, page);
+  }
+  return Status::Ok();
+}
+
+Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id >= num_pages_) {
+    return Status::OutOfRange("page beyond end of file");
+  }
+  static Counter& cache_hit_count =
+      Registry::Global().GetCounter("vdb_paged_file_cache_hits_total");
+  if (CacheLookup(page_id, buf)) {
+    cache_hit_count.Inc();
     return Status::Ok();
   }
-  CacheInsert(page_id, buf);
+  return ReadRunLocked(page_id, 1, buf);
+}
+
+Status PagedFile::ReadPages(std::span<const std::uint64_t> page_ids,
+                            std::uint8_t* out) {
+  if (page_ids.empty()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint64_t id : page_ids) {
+    if (id >= num_pages_) {
+      return Status::OutOfRange("page beyond end of file");
+    }
+  }
+  auto& reg = Registry::Global();
+  static Counter& cache_hit_count =
+      reg.GetCounter("vdb_paged_file_cache_hits_total");
+  static Counter& batch_reads = reg.GetCounter("vdb_paged_batch_reads_total");
+  static Counter& batch_pages = reg.GetCounter("vdb_paged_batch_pages_total");
+  static Counter& batch_syscalls =
+      reg.GetCounter("vdb_paged_batch_syscalls_total");
+  ++batch_reads_;
+  batch_reads.Inc();
+  batch_pages.Inc(page_ids.size());
+
+  // Pass 1: serve cache hits, group the missing slots by page id.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> miss_slots;
+  std::vector<std::uint64_t> misses;
+  for (std::size_t i = 0; i < page_ids.size(); ++i) {
+    std::uint8_t* slot = out + i * opts_.page_size;
+    std::uint64_t id = page_ids[i];
+    auto grouped = miss_slots.find(id);
+    if (grouped != miss_slots.end()) {  // duplicate of a known miss
+      grouped->second.push_back(i);
+      continue;
+    }
+    if (CacheLookup(id, slot)) {
+      cache_hit_count.Inc();
+      continue;
+    }
+    miss_slots.emplace(id, std::vector<std::size_t>{i});
+    misses.push_back(id);
+  }
+  if (misses.empty()) return Status::Ok();
+  std::sort(misses.begin(), misses.end());
+
+  // Pass 2: coalesce the sorted misses into runs of consecutive pages,
+  // one positioned read per run, then distribute to the requesting slots.
+  std::vector<std::uint8_t> run_buf;
+  for (std::size_t r = 0; r < misses.size();) {
+    std::size_t run_end = r + 1;
+    while (run_end < misses.size() &&
+           misses[run_end] == misses[run_end - 1] + 1) {
+      ++run_end;
+    }
+    std::size_t run_len = run_end - r;
+    run_buf.resize(run_len * opts_.page_size);
+    ++batch_syscalls_;
+    batch_syscalls.Inc();
+    VDB_RETURN_IF_ERROR(ReadRunLocked(misses[r], run_len, run_buf.data()));
+    for (std::size_t i = 0; i < run_len; ++i) {
+      const std::uint8_t* page = run_buf.data() + i * opts_.page_size;
+      for (std::size_t slot : miss_slots[misses[r] + i]) {
+        std::memcpy(out + slot * opts_.page_size, page, opts_.page_size);
+      }
+    }
+    r = run_end;
+  }
   return Status::Ok();
 }
 

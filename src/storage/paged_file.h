@@ -5,6 +5,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,18 @@ class PagedFile {
   /// Reads page `page_id` into `buf` (page_size bytes).
   Status ReadPage(std::uint64_t page_id, std::uint8_t* buf);
 
+  /// Batched read: fills `out` (page_ids.size() * page_size bytes, slot i
+  /// receiving page_ids[i]; duplicates allowed) under ONE lock
+  /// acquisition. Cache hits are served first; the misses are sorted,
+  /// deduplicated, and coalesced into runs of consecutive pages, each run
+  /// costing a single positioned read — a beam of B candidates costs
+  /// O(runs) syscalls instead of B. All ids are bounds-checked before any
+  /// I/O; on error `out` contents are unspecified. Read-path failpoints
+  /// and the fault_after_ countdown apply per physical read exactly as in
+  /// ReadPage.
+  Status ReadPages(std::span<const std::uint64_t> page_ids,
+                   std::uint8_t* out);
+
   /// Writes page `page_id` from `buf` (page_size bytes); extends the file
   /// as needed.
   Status WritePage(std::uint64_t page_id, const std::uint8_t* buf);
@@ -76,11 +89,22 @@ class PagedFile {
     std::lock_guard<std::mutex> lock(mu_);
     return cache_hits_;
   }
+  /// ReadPages invocations / coalesced-run syscalls they issued.
+  std::uint64_t batch_reads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_reads_;
+  }
+  std::uint64_t batch_syscalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_syscalls_;
+  }
   void ResetCounters() {
     std::lock_guard<std::mutex> lock(mu_);
     reads_ = 0;
     writes_ = 0;
     cache_hits_ = 0;
+    batch_reads_ = 0;
+    batch_syscalls_ = 0;
   }
 
   /// Failure injection: the next physical read after `count` more reads
@@ -101,6 +125,12 @@ class PagedFile {
   bool CacheLookup(std::uint64_t page_id, std::uint8_t* buf);
   void CacheInsert(std::uint64_t page_id, const std::uint8_t* buf);
   Status WritePageLocked(std::uint64_t page_id, const std::uint8_t* buf);
+  /// The single physical-read path (ReadPage and every coalesced
+  /// ReadPages run go through here): fault injection, read failpoints,
+  /// one positioned read of `npages` consecutive pages, read accounting,
+  /// per-page corruption injection, and cache fill.
+  Status ReadRunLocked(std::uint64_t first_page, std::size_t npages,
+                       std::uint8_t* buf);
 
   int fd_;
   PagedFileOptions opts_;
@@ -112,6 +142,8 @@ class PagedFile {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t cache_hits_ = 0;
+  std::uint64_t batch_reads_ = 0;
+  std::uint64_t batch_syscalls_ = 0;
   std::int64_t fault_after_ = -1;
 
   /// LRU cache: most-recent at front.

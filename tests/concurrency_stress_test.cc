@@ -29,6 +29,7 @@
 #include "db/distributed.h"
 #include "index/diskann.h"
 #include "index/hnsw.h"
+#include "storage/paged_file.h"
 
 namespace vdb {
 namespace {
@@ -326,6 +327,44 @@ TEST(ConcurrencyStressTest, DiskIndexSharedPageCache) {
           index.Search(data.row((t * kQueries + i) % data.rows()), p, &out,
                        &stats)
               .ok());
+    }
+  });
+}
+
+// Batched and single-page reads race on the same LRU cache: ReadPages
+// fills multiple entries per lock hold while ReadPage churns lookups and
+// evictions. Content stamps verify no slot is filled from the wrong page.
+TEST(ConcurrencyStressTest, PagedFileBatchVsSingleReadChurn) {
+  PagedFileOptions opts;
+  opts.cache_pages = 8;  // small: forces constant eviction under churn
+  auto file = PagedFile::Create(TempPath("pf_batch"), opts);
+  ASSERT_TRUE(file.ok());
+  const std::size_t ps = (*file)->page_size();
+  const std::uint64_t kPages = 32;
+  std::vector<std::uint8_t> page(ps);
+  for (std::uint64_t p = 0; p < kPages; ++p) {
+    std::fill(page.begin(), page.end(), static_cast<std::uint8_t>(p));
+    ASSERT_TRUE((*file)->WritePage(p, page.data()).ok());
+  }
+
+  const std::size_t kIters = 60 * StressScale();
+  RunThreads(6, [&](std::size_t t) {
+    std::vector<std::uint8_t> buf(8 * ps);
+    for (std::size_t i = 0; i < kIters; ++i) {
+      if (t % 2 == 0) {
+        std::vector<std::uint64_t> ids(8);
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          ids[j] = (t * 7 + i * 3 + j) % kPages;  // overlapping runs + dups
+        }
+        ASSERT_TRUE((*file)->ReadPages(ids, buf.data()).ok());
+        for (std::size_t j = 0; j < ids.size(); ++j) {
+          ASSERT_EQ(buf[j * ps], static_cast<std::uint8_t>(ids[j]));
+        }
+      } else {
+        std::uint64_t p = (t * 11 + i) % kPages;
+        ASSERT_TRUE((*file)->ReadPage(p, buf.data()).ok());
+        ASSERT_EQ(buf[0], static_cast<std::uint8_t>(p));
+      }
     }
   });
 }

@@ -86,6 +86,104 @@ TEST(PagedFileTest, PersistsAcrossReopen) {
   EXPECT_EQ(in, out);
 }
 
+TEST(PagedFileTest, ReadPagesCoalescesRunsIntoFewSyscalls) {
+  auto file = PagedFile::Create(TempPath("pf_batch"));
+  ASSERT_TRUE(file.ok());
+  const std::size_t ps = (*file)->page_size();
+  std::vector<std::uint8_t> page(ps);
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    std::fill(page.begin(), page.end(), static_cast<std::uint8_t>(p + 1));
+    ASSERT_TRUE((*file)->WritePage(p, page.data()).ok());
+  }
+  (*file)->ResetCounters();
+
+  // Out-of-order request with three consecutive runs: [0..2], [5,6], [9].
+  std::vector<std::uint64_t> ids = {6, 0, 9, 1, 5, 2};
+  std::vector<std::uint8_t> out(ids.size() * ps);
+  ASSERT_TRUE((*file)->ReadPages(ids, out.data()).ok());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(out[i * ps], static_cast<std::uint8_t>(ids[i] + 1))
+        << "slot " << i;
+  }
+  EXPECT_EQ((*file)->reads(), 6u);          // physical pages
+  EXPECT_EQ((*file)->batch_syscalls(), 3u)  // one pread per run
+      << "runs were not coalesced";
+  EXPECT_EQ((*file)->batch_reads(), 1u);
+}
+
+TEST(PagedFileTest, ReadPagesDuplicatesReadOnce) {
+  auto file = PagedFile::Create(TempPath("pf_dup"));
+  ASSERT_TRUE(file.ok());
+  const std::size_t ps = (*file)->page_size();
+  std::vector<std::uint8_t> page(ps, 0x5C);
+  ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+  ASSERT_TRUE((*file)->WritePage(1, page.data()).ok());
+  (*file)->ResetCounters();
+
+  std::vector<std::uint64_t> ids = {1, 0, 1, 1, 0};
+  std::vector<std::uint8_t> out(ids.size() * ps);
+  ASSERT_TRUE((*file)->ReadPages(ids, out.data()).ok());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(out[i * ps], 0x5C);
+  EXPECT_EQ((*file)->reads(), 2u);  // every duplicate filled from one read
+  EXPECT_EQ((*file)->batch_syscalls(), 1u);  // {0,1} is a single run
+}
+
+TEST(PagedFileTest, ReadPagesServesCacheHitsWithoutIo) {
+  PagedFileOptions opts;
+  opts.cache_pages = 8;
+  auto file = PagedFile::Create(TempPath("pf_batch_cache"), opts);
+  ASSERT_TRUE(file.ok());
+  const std::size_t ps = (*file)->page_size();
+  std::vector<std::uint8_t> page(ps, 0x42);
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE((*file)->WritePage(p, page.data()).ok());
+  }
+  (*file)->ResetCounters();
+
+  std::vector<std::uint64_t> ids = {0, 1, 2, 3};
+  std::vector<std::uint8_t> out(ids.size() * ps);
+  ASSERT_TRUE((*file)->ReadPages(ids, out.data()).ok());
+  EXPECT_EQ((*file)->cache_hits(), 4u);  // writes populated the cache
+  EXPECT_EQ((*file)->reads(), 0u);
+  EXPECT_EQ((*file)->batch_syscalls(), 0u);
+}
+
+TEST(PagedFileTest, ReadPagesBoundsCheckedBeforeAnyIo) {
+  auto file = PagedFile::Create(TempPath("pf_batch_oob"));
+  ASSERT_TRUE(file.ok());
+  const std::size_t ps = (*file)->page_size();
+  std::vector<std::uint8_t> page(ps, 1);
+  ASSERT_TRUE((*file)->WritePage(0, page.data()).ok());
+  (*file)->ResetCounters();
+
+  std::vector<std::uint64_t> ids = {0, 7};
+  std::vector<std::uint8_t> out(ids.size() * ps);
+  EXPECT_EQ((*file)->ReadPages(ids, out.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->reads(), 0u);  // rejected before the first pread
+
+  ASSERT_TRUE((*file)->ReadPages({}, nullptr).ok());  // empty batch is a no-op
+}
+
+TEST(PagedFileTest, ReadPagesFaultCountdownIsPerPhysicalPage) {
+  auto file = PagedFile::Create(TempPath("pf_batch_fault"));
+  ASSERT_TRUE(file.ok());
+  const std::size_t ps = (*file)->page_size();
+  std::vector<std::uint8_t> page(ps, 1);
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE((*file)->WritePage(p, page.data()).ok());
+  }
+
+  // Runs [0,1] then [3]: a budget of 2 survives the first run's two pages
+  // and fails the second run, exactly like two ReadPage calls would.
+  std::vector<std::uint64_t> ids = {0, 1, 3};
+  std::vector<std::uint8_t> out(ids.size() * ps);
+  (*file)->InjectReadFaultAfter(2);
+  EXPECT_EQ((*file)->ReadPages(ids, out.data()).code(), StatusCode::kIoError);
+  (*file)->InjectReadFaultAfter(-1);
+  EXPECT_TRUE((*file)->ReadPages(ids, out.data()).ok());
+}
+
 TEST(PagedFileTest, FaultInjectionSurfacesIoError) {
   auto file = PagedFile::Create(TempPath("pf_fault"));
   ASSERT_TRUE(file.ok());

@@ -340,6 +340,39 @@ TEST_F(StorageFaultTest, PagedFileReadWriteFaults) {
   std::remove(path.c_str());
 }
 
+// ReadPages routes every coalesced run through the same single physical-
+// read path as ReadPage, so the read failpoints fire per pread — once per
+// run, not once per requested page.
+TEST_F(StorageFaultTest, PagedFileBatchReadFaults) {
+  std::string path = TempPath("paged_batch");
+  auto file = PagedFile::Create(path);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> page((*file)->page_size(), 0xAB);
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE((*file)->WritePage(p, page.data()).ok());
+  }
+
+  std::vector<std::uint64_t> ids = {0, 1, 3};  // two runs: [0,1] and [3]
+  std::vector<std::uint8_t> out(ids.size() * (*file)->page_size());
+  {
+    ScopedFailpoint fp("paged_file.read.fail", "times:1");
+    EXPECT_EQ((*file)->ReadPages(ids, out.data()).code(),
+              StatusCode::kIoError);
+  }
+  {
+    // times:1 corrupts the first run's first page only; the rest of the
+    // batch (including run two) comes back clean and uncached.
+    ScopedFailpoint fp("paged_file.read.corrupt", "times:1");
+    ASSERT_TRUE((*file)->ReadPages(ids, out.data()).ok());
+    EXPECT_NE(out[0], 0xAB);
+    EXPECT_EQ(out[(*file)->page_size()], 0xAB);
+    EXPECT_EQ(out[2 * (*file)->page_size()], 0xAB);
+  }
+  ASSERT_TRUE((*file)->ReadPages(ids, out.data()).ok());
+  EXPECT_EQ(out[0], 0xAB);  // corruption was not cached
+  std::remove(path.c_str());
+}
+
 TEST_F(StorageFaultTest, LsmFlushFailureIsAllOrNothing) {
   LsmOptions opts;
   opts.factory = [] { return std::make_unique<FlatIndex>(); };

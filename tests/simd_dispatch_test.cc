@@ -1,0 +1,307 @@
+// Dispatch-parity suite for the tiered SIMD kernels (DESIGN.md §11) plus
+// the beam-search prefetch ablation.
+//
+// Two distinct contracts are pinned here:
+//   1. Across tiers (scalar / AVX2 / AVX-512) a kernel agrees to float
+//      rounding (~1e-4 relative) — different accumulation orders.
+//   2. Within one tier, the batched kernels are bit-identical per row to
+//      that tier's single-pair kernel (same element order), which is what
+//      lets the batched beam search return byte-identical results.
+// Tiers the CPU lacks are skipped (calling a target("avx512...") function
+// on a CPU without the feature is undefined behaviour).
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/simd.h"
+#include "core/synthetic.h"
+#include "index/hnsw.h"
+#include "index/nsw.h"
+#include "index/vamana.h"
+
+namespace vdb {
+namespace {
+
+// Full-width blocks, every tail length, and sub-width dims for all three
+// tiers (scalar, 8-wide AVX2, 16-wide AVX-512).
+const std::size_t kDims[] = {1,  3,  7,  8,  9,   15,  16,  17,  24, 31,
+                             32, 33, 47, 48, 64, 100, 127, 128, 161};
+
+std::vector<float> RandomVec(Rng& rng, std::size_t n) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.NextFloat(-1.0f, 1.0f);
+  return v;
+}
+
+// Cross-tier tolerance: relative 1e-4 with a small absolute floor for
+// near-zero inner products.
+void ExpectNearRel(float a, float b) {
+  float tol = 1e-4f * std::max(1.0f, std::max(std::fabs(a), std::fabs(b)));
+  EXPECT_NEAR(a, b, tol);
+}
+
+TEST(SimdDispatchTest, TierNamesAndActiveTierAreConsistent) {
+  simd::DispatchTier tier = simd::ActiveTier();
+  if (simd::HasAvx512()) {
+    EXPECT_EQ(tier, simd::DispatchTier::kAvx512);
+  } else if (simd::HasAvx2()) {
+    EXPECT_EQ(tier, simd::DispatchTier::kAvx2);
+  } else {
+    EXPECT_EQ(tier, simd::DispatchTier::kScalar);
+  }
+  EXPECT_STREQ(simd::TierName(simd::DispatchTier::kScalar), "scalar");
+}
+
+TEST(SimdDispatchTest, SinglePairCrossTierParity) {
+  Rng rng(7);
+  for (std::size_t dim : kDims) {
+    auto a = RandomVec(rng, dim);
+    auto b = RandomVec(rng, dim);
+    float l2 = simd::L2SqScalar(a.data(), b.data(), dim);
+    float ip = simd::InnerProductScalar(a.data(), b.data(), dim);
+    float nm = simd::NormSqScalar(a.data(), dim);
+    if (simd::HasAvx2()) {
+      ExpectNearRel(l2, simd::L2SqAvx2(a.data(), b.data(), dim));
+      ExpectNearRel(ip, simd::InnerProductAvx2(a.data(), b.data(), dim));
+      ExpectNearRel(nm, simd::NormSqAvx2(a.data(), dim));
+    }
+    if (simd::HasAvx512()) {
+      ExpectNearRel(l2, simd::L2SqAvx512(a.data(), b.data(), dim));
+      ExpectNearRel(ip, simd::InnerProductAvx512(a.data(), b.data(), dim));
+      ExpectNearRel(nm, simd::NormSqAvx512(a.data(), dim));
+    }
+    // Dispatched entry points agree with the scalar reference too.
+    ExpectNearRel(l2, simd::L2Sq(a.data(), b.data(), dim));
+    ExpectNearRel(ip, simd::InnerProduct(a.data(), b.data(), dim));
+    ExpectNearRel(nm, simd::NormSq(a.data(), dim));
+  }
+  if (!simd::HasAvx2()) {
+    GTEST_LOG_(INFO) << "AVX2 tier not exercised on this CPU";
+  }
+  if (!simd::HasAvx512()) {
+    GTEST_LOG_(INFO) << "AVX-512 tier not exercised on this CPU";
+  }
+}
+
+// Within a tier, Batch[i] must equal Single(row_i) bit for bit — batch
+// sizes straddle the 4-row block (remainder rows 1..3) and ids repeat.
+TEST(SimdDispatchTest, BatchGatherBitIdenticalToSinglePerTier) {
+  Rng rng(11);
+  const std::size_t kRows = 23;
+  for (std::size_t dim : kDims) {
+    auto q = RandomVec(rng, dim);
+    auto base = RandomVec(rng, kRows * dim);
+    for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                          std::size_t{5}, std::size_t{9}, std::size_t{16}}) {
+      std::vector<std::uint32_t> ids(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<std::uint32_t>(rng.Next(kRows));
+      }
+      ids[n / 2] = ids[0];  // duplicates must be scored independently
+      std::vector<float> out(n);
+
+      simd::L2SqBatchGatherScalar(q.data(), base.data(), dim, ids.data(), n,
+                                  out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], simd::L2SqScalar(
+                              q.data(), base.data() + ids[i] * dim, dim));
+      }
+      simd::InnerProductBatchGatherScalar(q.data(), base.data(), dim,
+                                          ids.data(), n, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], simd::InnerProductScalar(
+                              q.data(), base.data() + ids[i] * dim, dim));
+      }
+      if (simd::HasAvx2()) {
+        simd::L2SqBatchGatherAvx2(q.data(), base.data(), dim, ids.data(), n,
+                                  out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i], simd::L2SqAvx2(
+                                q.data(), base.data() + ids[i] * dim, dim));
+        }
+        simd::InnerProductBatchGatherAvx2(q.data(), base.data(), dim,
+                                          ids.data(), n, out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i],
+                    simd::InnerProductAvx2(q.data(),
+                                           base.data() + ids[i] * dim, dim));
+        }
+      }
+      if (simd::HasAvx512()) {
+        simd::L2SqBatchGatherAvx512(q.data(), base.data(), dim, ids.data(),
+                                    n, out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i], simd::L2SqAvx512(
+                                q.data(), base.data() + ids[i] * dim, dim));
+        }
+        simd::InnerProductBatchGatherAvx512(q.data(), base.data(), dim,
+                                            ids.data(), n, out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i],
+                    simd::InnerProductAvx512(
+                        q.data(), base.data() + ids[i] * dim, dim));
+        }
+      }
+      // The dispatched batch matches the dispatched single-pair kernel —
+      // this is the identity Distance/DistanceBatch rides on.
+      simd::L2SqBatchGather(q.data(), base.data(), dim, ids.data(), n,
+                            out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i],
+                  simd::L2Sq(q.data(), base.data() + ids[i] * dim, dim));
+      }
+      simd::InnerProductBatchGather(q.data(), base.data(), dim, ids.data(),
+                                    n, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], simd::InnerProduct(
+                              q.data(), base.data() + ids[i] * dim, dim));
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ContiguousBatchBitIdenticalToSingle) {
+  Rng rng(13);
+  for (std::size_t dim : kDims) {
+    const std::size_t n = 7;  // one 4-row block + 3 remainder rows
+    auto q = RandomVec(rng, dim);
+    auto rows = RandomVec(rng, n * dim);
+    std::vector<float> out(n);
+    simd::L2SqBatch(q.data(), rows.data(), dim, n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], simd::L2Sq(q.data(), rows.data() + i * dim, dim));
+    }
+    simd::InnerProductBatch(q.data(), rows.data(), dim, n, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i],
+                simd::InnerProduct(q.data(), rows.data() + i * dim, dim));
+    }
+  }
+}
+
+TEST(SimdDispatchTest, AdcLookupCrossTierParity) {
+  Rng rng(17);
+  for (std::size_t ksub : {std::size_t{16}, std::size_t{256}}) {
+    // m straddles the 16-lane gather width (the AVX-512 path engages at
+    // m >= 16) and exercises its scalar tail.
+    for (std::size_t m : {std::size_t{1}, std::size_t{8}, std::size_t{15},
+                          std::size_t{16}, std::size_t{17}, std::size_t{33},
+                          std::size_t{64}}) {
+      std::vector<float> tables(m * ksub);
+      for (float& t : tables) t = rng.NextFloat(0.0f, 2.0f);
+      std::vector<unsigned char> codes(m);
+      for (auto& c : codes) {
+        c = static_cast<unsigned char>(rng.Next(ksub));
+      }
+      float ref = simd::AdcLookupScalar(tables.data(), codes.data(), m, ksub);
+      if (simd::HasAvx512()) {
+        ExpectNearRel(
+            ref, simd::AdcLookupAvx512(tables.data(), codes.data(), m, ksub));
+      }
+      ExpectNearRel(ref,
+                    simd::AdcLookup(tables.data(), codes.data(), m, ksub));
+    }
+  }
+}
+
+// Integer pshufb scan: all tiers must agree exactly (no rounding).
+TEST(SimdDispatchTest, QuickAdcBlockExactAcrossTiers) {
+  Rng rng(19);
+  for (std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{8}, std::size_t{17}, std::size_t{128}}) {
+    std::vector<unsigned char> luts(m * 16), codes(m * 32);
+    for (auto& b : luts) b = static_cast<unsigned char>(rng.Next(256));
+    for (auto& b : codes) b = static_cast<unsigned char>(rng.Next(16));
+    std::vector<unsigned short> ref(32), got(32);
+    simd::QuickAdcBlockScalar(luts.data(), codes.data(), m, ref.data());
+    if (simd::HasAvx2()) {
+      simd::QuickAdcBlockAvx2(luts.data(), codes.data(), m, got.data());
+      EXPECT_EQ(ref, got);
+    }
+    if (simd::HasAvx512()) {
+      simd::QuickAdcBlockAvx512(luts.data(), codes.data(), m, got.data());
+      EXPECT_EQ(ref, got);
+    }
+    simd::QuickAdcBlock(luts.data(), codes.data(), m, got.data());
+    EXPECT_EQ(ref, got);
+  }
+}
+
+// ------------------------------------------------- prefetch ablation
+//
+// prefetch_depth is a pure memory-latency knob: results AND per-query
+// stats must be identical with prefetching off (0), default (-1), and
+// deeper than any beam (64), because the batched expansion scores and
+// pushes neighbors in exactly the unbatched order.
+
+FloatMatrix AblationData() {
+  SyntheticOptions opts;
+  opts.n = 1200;
+  opts.dim = 24;
+  opts.num_clusters = 8;
+  opts.seed = 23;
+  return GaussianClusters(opts);
+}
+
+template <typename IndexT>
+void RunPrefetchAblation(IndexT& index) {
+  FloatMatrix data = AblationData();
+  ASSERT_TRUE(index.Build(data, {}).ok());
+  FloatMatrix queries = PerturbedQueries(data, 20, 0.05f, 29);
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    std::vector<std::vector<Neighbor>> results;
+    std::vector<SearchStats> stats;
+    for (int depth : {0, -1, 64}) {
+      SearchParams p;
+      p.k = 10;
+      p.ef = 48;
+      p.prefetch_depth = depth;
+      std::vector<Neighbor> out;
+      SearchStats st;
+      ASSERT_TRUE(index.Search(queries.row(qi), p, &out, &st).ok());
+      results.push_back(std::move(out));
+      stats.push_back(st);
+    }
+    for (std::size_t v = 1; v < results.size(); ++v) {
+      ASSERT_EQ(results[v].size(), results[0].size());
+      for (std::size_t i = 0; i < results[0].size(); ++i) {
+        EXPECT_EQ(results[v][i].id, results[0][i].id);
+        EXPECT_EQ(results[v][i].dist, results[0][i].dist);
+      }
+      EXPECT_EQ(stats[v].distance_comps, stats[0].distance_comps);
+      EXPECT_EQ(stats[v].nodes_visited, stats[0].nodes_visited);
+      EXPECT_EQ(stats[v].hops, stats[0].hops);
+    }
+  }
+}
+
+TEST(PrefetchAblationTest, HnswResultsAndStatsUnchanged) {
+  HnswOptions opts;
+  opts.m = 8;
+  opts.ef_construction = 48;
+  HnswIndex index(opts);
+  RunPrefetchAblation(index);
+}
+
+TEST(PrefetchAblationTest, VamanaResultsAndStatsUnchanged) {
+  VamanaOptions opts;
+  opts.r = 16;
+  opts.l = 48;
+  VamanaIndex index(opts);
+  RunPrefetchAblation(index);
+}
+
+TEST(PrefetchAblationTest, NswResultsAndStatsUnchanged) {
+  NswOptions opts;
+  opts.m = 8;
+  opts.ef_construction = 48;
+  NswIndex index(opts);
+  RunPrefetchAblation(index);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -22,6 +22,9 @@ Matching rules:
   - A baseline row with no identity match in the current report is a
     warning, not a failure: benches grow and reshape rows; the gate
     only polices rows both revisions measured.
+  - A gated field that drops below baseline * (1 - threshold) prints an
+    explicit "bench_gate improved:" line, making perf wins as visible in
+    CI logs as regressions.
 
 Exit status: 0 clean, 1 on regression or malformed input. CI runs this
 as a soft gate (continue-on-error) because shared runners are noisy;
@@ -74,19 +77,24 @@ def fmt_identity(ident):
 
 def compare(baseline, current, *, threshold, pattern, min_abs,
             baseline_name="baseline", current_name="current"):
-    """Returns (violations, warnings): lists of human-readable strings."""
-    violations, warnings = [], []
+    """Returns (violations, warnings, improvements): lists of strings.
+
+    Improvements mirror violations on the other side of the threshold —
+    current < baseline * (1 - threshold) — so a perf PR's win shows up as
+    an explicit line in the gate output instead of silence.
+    """
+    violations, warnings, improvements = [], [], []
     if baseline["schema_version"] != current["schema_version"]:
         violations.append(
             f"schema_version mismatch: {baseline_name} has "
             f"{baseline['schema_version']}, {current_name} has "
             f"{current['schema_version']}")
-        return violations, warnings
+        return violations, warnings, improvements
     if baseline["bench"] != current["bench"]:
         violations.append(
             f"bench name mismatch: {baseline_name} is "
             f"'{baseline['bench']}', {current_name} is '{current['bench']}'")
-        return violations, warnings
+        return violations, warnings, improvements
 
     base_rows = rows_by_identity(baseline, baseline_name)
     cur_rows = rows_by_identity(current, current_name)
@@ -113,6 +121,11 @@ def compare(baseline, current, *, threshold, pattern, min_abs,
                     f"field '{key}': {base_val:g} -> {cur_val:g} "
                     f"(+{(cur_val / base_val - 1.0) * 100.0:.1f}%, "
                     f"threshold +{threshold * 100.0:.0f}%)")
+            elif cur_val < base_val * (1.0 - threshold):
+                improvements.append(
+                    f"[{current['bench']}] row {fmt_identity(ident)} "
+                    f"field '{key}': {base_val:g} -> {cur_val:g} "
+                    f"({(cur_val / base_val - 1.0) * 100.0:.1f}%)")
     for ident in cur_rows:
         if ident not in base_rows:
             warnings.append(f"row {fmt_identity(ident)} is new in "
@@ -120,7 +133,7 @@ def compare(baseline, current, *, threshold, pattern, min_abs,
     if gated == 0:
         warnings.append(f"[{current['bench']}] no '{pattern}' fields gated "
                         f"— check --field-pattern against the report")
-    return violations, warnings
+    return violations, warnings, improvements
 
 
 def self_test(threshold, pattern, min_abs):
@@ -132,23 +145,32 @@ def self_test(threshold, pattern, min_abs):
                           "lat_ms_p99": 2 * p95}]}
 
     kwargs = dict(threshold=threshold, pattern=pattern, min_abs=min_abs)
-    ok_v, _ = compare(report(4.0), report(4.0), **kwargs)
-    jitter_v, _ = compare(report(4.0), report(4.0 * (1 + threshold * 0.9)),
-                          **kwargs)
-    bad_v, _ = compare(report(4.0), report(8.0), **kwargs)
+    ok_v, _, ok_i = compare(report(4.0), report(4.0), **kwargs)
+    jitter_v, _, jitter_i = compare(report(4.0),
+                                    report(4.0 * (1 + threshold * 0.9)),
+                                    **kwargs)
+    bad_v, _, _ = compare(report(4.0), report(8.0), **kwargs)
+    good_v, _, good_i = compare(report(4.0), report(2.0), **kwargs)
     failures = []
     if ok_v:
         failures.append(f"identical reports flagged: {ok_v}")
+    if ok_i or jitter_i:
+        failures.append("sub-threshold delta reported as improvement")
     if jitter_v:
         failures.append(f"sub-threshold jitter flagged: {jitter_v}")
     if not bad_v:
         failures.append("synthetic 2x p95 regression NOT flagged")
+    if good_v:
+        failures.append(f"synthetic 2x p95 improvement flagged bad: {good_v}")
+    if not good_i:
+        failures.append("synthetic 2x p95 improvement NOT reported")
     if failures:
         for f in failures:
             print(f"bench_gate self-test FAIL: {f}", file=sys.stderr)
         return 1
     print("bench_gate self-test OK (pass on identical, pass on "
-          "sub-threshold jitter, fail on 2x p95)")
+          "sub-threshold jitter, fail on 2x regression, report 2x "
+          "improvement)")
     return 0
 
 
@@ -181,7 +203,7 @@ def main():
         try:
             baseline = load_report(base_path)
             current = load_report(cur_path)
-            violations, warnings = compare(
+            violations, warnings, improvements = compare(
                 baseline, current, threshold=args.threshold,
                 pattern=args.field_pattern, min_abs=args.min_abs,
                 baseline_name=base_path, current_name=cur_path)
@@ -191,6 +213,8 @@ def main():
         checked += 1
         for w in warnings:
             print(f"bench_gate warning: {w}", file=sys.stderr)
+        for imp in improvements:
+            print(f"bench_gate improved: {imp}")
         all_violations.extend(violations)
 
     if all_violations:

@@ -27,6 +27,13 @@ pass --root):
      `vdb_*` name that table documents is registered somewhere in src/
      — the dashboard reference can neither lag the code nor advertise
      metrics that no longer exist.
+  7. SIMD confinement: `_mm*` intrinsics, `__m128/256/512` vector
+     types, and `target(...)` function attributes live only in
+     src/core/simd.cc (one TU owns every kernel, so the portable build
+     and the dispatch contract cannot be bypassed); software prefetch
+     (`__builtin_prefetch`) is allowed only in src/core/simd.h and
+     src/index/graph_util.h — every other layer prefetches through the
+     simd::Prefetch* helpers.
 
 Exit status 0 when clean; 1 with one "file:line: message" per violation
 otherwise. Run by the `lint` CI job and locally via
@@ -50,6 +57,13 @@ METRIC_NAME = re.compile(r"^vdb_[a-z0-9_]+$")
 # suffixes may follow the base name inside the backticks).
 DESIGN_METRIC = re.compile(r"`(vdb_[a-z0-9_]+)")
 RAW_IO = re.compile(r"(::write\s*\(|\b(?:fsync|fdatasync|pwrite)\s*\()")
+# x86 vector intrinsics / types / per-function target attributes
+# (invariant 7). A leading \b would not work (_ is a word char), so
+# anchor on a non-word character or start-of-text instead.
+SIMD_INTRINSIC = re.compile(
+    r"(?:^|[^\w])(_mm\d*_\w+\s*\(|__m(?:128|256|512)[di]?\b|"
+    r"target\s*\(\s*\")")
+PREFETCH = re.compile(r"__builtin_prefetch\s*\(")
 NET_IO = re.compile(
     r"::(?:socket|bind|listen|accept4?|connect|recv|send|"
     r"epoll_(?:create1|ctl|wait)|eventfd(?:_read|_write)?)\s*\(")
@@ -59,6 +73,11 @@ NET_IO = re.compile(
 RAW_IO_ALLOWED_PREFIX = "src/storage/"
 # Files allowed to issue socket/epoll syscalls.
 NET_IO_ALLOWED_PREFIX = "src/net/"
+
+# Invariant 7: the one TU allowed to spell intrinsics, and the only
+# headers allowed to spell __builtin_prefetch.
+SIMD_IMPL = "src/core/simd.cc"
+PREFETCH_ALLOWED = ("src/core/simd.h", "src/index/graph_util.h")
 
 # Subsystem prefix ownership (invariant 5): name prefix <-> source dir.
 FAILPOINT_OWNERS = {"net.": "src/net/"}
@@ -219,6 +238,27 @@ def check_raw_io(root, errors):
                               f"serving layer")
 
 
+def check_simd_confinement(root, errors):
+    """Invariant 7, both directions: intrinsics/target attrs only in
+    src/core/simd.cc; __builtin_prefetch only in the two sanctioned
+    headers (simd.cc itself excluded — it calls the inline helpers)."""
+    for path in source_files(root):
+        rel = path.relative_to(root).as_posix()
+        text = strip_comments(path.read_text())
+        if rel != SIMD_IMPL:
+            for m in SIMD_INTRINSIC.finditer(text):
+                line = text.count("\n", 0, m.start()) + 1
+                errors.append(f"{rel}:{line}: SIMD intrinsic/target attr "
+                              f"('{m.group(1)}...') outside {SIMD_IMPL} — "
+                              f"kernels live in one TU")
+        if rel not in PREFETCH_ALLOWED:
+            for m in PREFETCH.finditer(text):
+                line = text.count("\n", 0, m.start()) + 1
+                errors.append(f"{rel}:{line}: __builtin_prefetch outside "
+                              f"{', '.join(PREFETCH_ALLOWED)} — use the "
+                              f"simd::Prefetch* helpers")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path,
@@ -231,6 +271,7 @@ def main():
     metrics = check_telemetry(args.root, errors)
     check_metric_docs(args.root, metrics, errors)
     check_raw_io(args.root, errors)
+    check_simd_confinement(args.root, errors)
 
     if errors:
         for e in errors:
