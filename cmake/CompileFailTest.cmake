@@ -1,0 +1,47 @@
+# Negative-compile test driver (ctest label `compile-fail`).
+#
+# Invoked as:
+#   cmake -DCOMPILER=<clang++> -DSOURCE=<case.cc> -DINCLUDE_DIR=<src/>
+#         -DEXPECT=<regex> -P CompileFailTest.cmake
+#
+# Each tests/compile_fail/*.cc case holds code the thread-safety gate
+# must REJECT (unlocked guarded reads, lock-order inversions, leaked
+# scoped locks...). The test passes only when the compile fails AND the
+# diagnostic matches the case's EXPECT regex — so it proves the gate
+# rejects the bug *for the intended reason*, not because of a typo in
+# the test itself. A case that compiles clean means the gate has a hole;
+# a case that fails with the wrong diagnostic means the case is broken.
+#
+# try_compile() cannot express the "must fail, with this text" half, so
+# this -P script shells out to the same compiler + flags the real build
+# uses (-fsyntax-only: the cases never need codegen or linking).
+
+foreach(var COMPILER SOURCE INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "CompileFailTest.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only
+          -Wthread-safety -Werror=thread-safety
+          -Wthread-safety-beta -Werror=thread-safety-beta
+          -I ${INCLUDE_DIR} ${SOURCE}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+          "${SOURCE} compiled CLEAN but must be rejected by "
+          "-Wthread-safety (expected diagnostic matching: ${EXPECT})")
+endif()
+
+if(NOT "${err}${out}" MATCHES "${EXPECT}")
+  message(FATAL_ERROR
+          "${SOURCE} failed to compile, but not for the intended reason.\n"
+          "Expected diagnostic matching: ${EXPECT}\n"
+          "Actual compiler output:\n${err}${out}")
+endif()
+
+message(STATUS "rejected as intended: ${SOURCE}")

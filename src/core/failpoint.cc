@@ -3,10 +3,10 @@
 #include <unistd.h>
 
 #include <cstdlib>
-#include <mutex>
 #include <random>
 #include <unordered_map>
 
+#include "core/sync.h"
 #include "core/telemetry.h"
 
 namespace vdb {
@@ -102,9 +102,13 @@ struct Failpoints::Impl {
     std::uint64_t lifetime_evaluations = 0;
     std::uint64_t lifetime_triggers = 0;
   };
-  mutable std::mutex mu;
-  std::unordered_map<std::string, Entry> entries;
-  std::mt19937_64 rng{0x9E3779B97F4A7C15ull};  ///< deterministic prob draws
+  /// §9.1 edge: Fires()/Arm() call into Registry while holding mu, so
+  /// Failpoints::mu -> Registry::mu (never reversed; Registry::mu is a
+  /// leaf and Registry never calls back into Failpoints).
+  mutable Mutex mu;
+  std::unordered_map<std::string, Entry> entries VDB_GUARDED_BY(mu);
+  /// Deterministic prob draws.
+  std::mt19937_64 rng VDB_GUARDED_BY(mu){0x9E3779B97F4A7C15ull};
 };
 
 Failpoints& Failpoints::Instance() {
@@ -119,7 +123,7 @@ Failpoints::Failpoints() : impl_(new Impl) {
 }
 
 void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   Impl::Entry& e = impl_->entries[name];
   if (!e.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   e.armed = true;
@@ -163,7 +167,7 @@ Status Failpoints::ArmFromString(std::string_view config) {
 }
 
 bool Failpoints::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->entries.find(name);
   if (it == impl_->entries.end() || !it->second.armed) return false;
   it->second.armed = false;
@@ -172,7 +176,7 @@ bool Failpoints::Disarm(const std::string& name) {
 }
 
 void Failpoints::DisarmAll() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   for (auto& [name, e] : impl_->entries) {
     if (e.armed) {
       e.armed = false;
@@ -182,7 +186,7 @@ void Failpoints::DisarmAll() {
 }
 
 bool Failpoints::Fires(const char* name) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->entries.find(name);
   if (it == impl_->entries.end() || !it->second.armed) return false;
   Impl::Entry& e = it->second;
@@ -212,26 +216,26 @@ bool Failpoints::Fires(const char* name) {
 }
 
 std::uint32_t Failpoints::DelayMs(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->entries.find(name);
   if (it == impl_->entries.end() || !it->second.armed) return 0;
   return it->second.spec.delay_ms;
 }
 
 std::uint64_t Failpoints::Evaluations(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->entries.find(name);
   return it == impl_->entries.end() ? 0 : it->second.lifetime_evaluations;
 }
 
 std::uint64_t Failpoints::Triggers(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto it = impl_->entries.find(name);
   return it == impl_->entries.end() ? 0 : it->second.lifetime_triggers;
 }
 
 std::vector<std::string> Failpoints::ArmedNames() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   std::vector<std::string> names;
   for (const auto& [name, e] : impl_->entries) {
     if (e.armed) names.push_back(name);

@@ -174,14 +174,14 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -189,7 +189,7 @@ Gauge& Registry::GetGauge(const std::string& name) {
 
 Histogram& Registry::GetHistogram(const std::string& name,
                                   std::span<const double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(
@@ -199,7 +199,7 @@ Histogram& Registry::GetHistogram(const std::string& name,
 }
 
 Registry::Snapshot Registry::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
@@ -210,7 +210,7 @@ Registry::Snapshot Registry::Snap() const {
 }
 
 std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   std::string last_typed;  // base name of the last emitted # TYPE line
   auto type_line = [&](const std::string& base, const char* kind) {
@@ -257,7 +257,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 std::string Registry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{";
   auto escape = [](const std::string& s) {
     std::string e;
@@ -300,7 +300,7 @@ std::string Registry::RenderJson() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -7,10 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace vdb {
 
@@ -190,10 +191,19 @@ class Registry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // WindowedRegistry names mu_ in its acquired-before edge (§9.1:
+  // WindowedRegistry::mu_ -> Registry::mu_).
+  friend class WindowedRegistry;
+
+  /// Leaf mutex (§9.1): registration only — never held while acquiring
+  /// any other lock. Increments/reads of the metrics themselves are
+  /// striped relaxed atomics and take no lock at all.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      VDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ VDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      VDB_GUARDED_BY(mu_);
 };
 
 /// RAII wall-clock timer feeding a latency histogram on destruction.

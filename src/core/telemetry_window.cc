@@ -53,7 +53,7 @@ WindowedRegistry& WindowedRegistry::Global() {
 }
 
 void WindowedRegistry::Tick(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.empty() && next_boundary_ == Clock::time_point{}) {
     // First tick seeds the ring origin (lazy so tests can inject time).
     origin_ = now;
@@ -85,7 +85,7 @@ void WindowedRegistry::Tick(Clock::time_point now) {
 bool WindowedRegistry::BaselineFor(double window_seconds,
                                    Clock::time_point now,
                                    Boundary* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.empty()) {
     out->at = next_boundary_ == Clock::time_point{} ? now : origin_;
     out->snap = Registry::Snapshot{};
@@ -232,7 +232,7 @@ std::string WindowedRegistry::RenderJson(std::span<const double> windows_seconds
 }
 
 void WindowedRegistry::ResetForTest(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   origin_ = now;
   next_boundary_ = now + opts_.width;

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <string>
 
+#include "core/sync.h"
 #include "core/telemetry.h"
 
 namespace vdb {
@@ -139,10 +139,14 @@ class WindowedRegistry {
 
   Registry& registry_;
   Options opts_;
-  mutable std::mutex mu_;
-  std::deque<Boundary> ring_;          ///< oldest front, newest back
-  Clock::time_point next_boundary_;    ///< first edge not yet recorded
-  Clock::time_point origin_;           ///< construction / last reset time
+  /// §9.1 edge: held across registry_.Snap(), which takes
+  /// Registry::mu_ — so this mutex is always the outer of the pair.
+  mutable Mutex mu_ VDB_ACQUIRED_BEFORE(registry_.mu_);
+  std::deque<Boundary> ring_ VDB_GUARDED_BY(mu_);  ///< oldest front
+  /// First edge not yet recorded.
+  Clock::time_point next_boundary_ VDB_GUARDED_BY(mu_);
+  /// Construction / last reset time.
+  Clock::time_point origin_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace vdb

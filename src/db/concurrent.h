@@ -2,17 +2,16 @@
 #define VDB_DB_CONCURRENT_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
 #include "db/collection.h"
 
 namespace vdb {
 
 /// Thread-safe facade over a Collection: many concurrent readers, one
-/// writer (std::shared_mutex). Queries take the shared lock; mutations and
+/// writer (vdb::SharedMutex). Queries take the shared lock; mutations and
 /// index builds take the exclusive lock. This is the single-node
 /// concurrency model of most mostly-vector systems (ShardedCollection
 /// layers cross-shard parallelism on top).
@@ -29,24 +28,24 @@ class ConcurrentCollection {
   // ----------------------------------------------------------- mutation
   Status Insert(VectorId id, VectorView vec,
                 const std::vector<AttrBinding>& attrs = {}) {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     return inner_->Insert(id, vec, attrs);
   }
   Status Delete(VectorId id) {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     return inner_->Delete(id);
   }
   Status Upsert(VectorId id, VectorView vec,
                 const std::vector<AttrBinding>& attrs = {}) {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     return inner_->Upsert(id, vec, attrs);
   }
   Status BuildIndex() {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     return inner_->BuildIndex();
   }
   Status Checkpoint(const std::string& path) {
-    std::shared_lock lock(mutex_);  // checkpoint is a consistent read
+    ReaderLock lock(mutex_);  // checkpoint is a consistent read
     return inner_->Checkpoint(path);
   }
 
@@ -54,43 +53,47 @@ class ConcurrentCollection {
   Status Knn(VectorView query, std::size_t k, std::vector<Neighbor>* out,
              SearchStats* stats = nullptr,
              const SearchParams* params = nullptr) const {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     return inner_->Knn(query, k, out, stats, params);
   }
   Status RangeSearch(VectorView query, float radius,
                      std::vector<Neighbor>* out,
                      SearchStats* stats = nullptr) const {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     return inner_->RangeSearch(query, radius, out, stats);
   }
   Status Hybrid(VectorView query, const Predicate& pred, std::size_t k,
                 std::vector<Neighbor>* out, ExecStats* stats = nullptr,
                 const HybridPlan* forced_plan = nullptr,
                 const SearchParams* params = nullptr) const {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     return inner_->Hybrid(query, pred, k, out, stats, forced_plan, params);
   }
   Status BatchKnn(const FloatMatrix& queries, std::size_t k,
                   std::vector<std::vector<Neighbor>>* out,
                   SearchStats* stats = nullptr) const {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     return inner_->BatchKnn(queries, k, out, stats);
   }
 
   std::size_t Size() const {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     return inner_->Size();
   }
 
-  /// Unguarded access for setup phases; the caller owns exclusion.
-  Collection& inner() { return *inner_; }
+  /// Unguarded access for setup phases; the caller owns exclusion
+  /// (single-threaded load/build before serving starts), so this is a
+  /// deliberate hole in the analysis.
+  Collection& inner() VDB_NO_THREAD_SAFETY_ANALYSIS { return *inner_; }
 
  private:
   explicit ConcurrentCollection(std::unique_ptr<Collection> inner)
       : inner_(std::move(inner)) {}
 
-  mutable std::shared_mutex mutex_;
-  std::unique_ptr<Collection> inner_;
+  mutable SharedMutex mutex_;
+  /// Pointee-guarded: const (query) calls ride the shared hold,
+  /// non-const (mutation/build) calls need the exclusive hold.
+  std::unique_ptr<Collection> inner_ VDB_PT_GUARDED_BY(mutex_);
 };
 
 }  // namespace vdb

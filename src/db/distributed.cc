@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <thread>
 
 #include "core/failpoint.h"
+#include "core/sync.h"
 #include "core/kmeans.h"
 #include "core/telemetry.h"
 #include "core/topk.h"
@@ -33,9 +33,9 @@ struct GatherContext {
   };
   std::vector<Slot> slots;  ///< sized once at creation; never reallocated
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t completed = 0;
+  Mutex mu;
+  CondVar cv;
+  std::size_t completed VDB_GUARDED_BY(mu) = 0;
 };
 
 }  // namespace
@@ -175,7 +175,7 @@ void ShardedCollection::ResetBreaker(std::size_t s) {
 }
 
 ShardedCollection::~ShardedCollection() {
-  std::lock_guard<std::mutex> lock(stragglers_mu_);
+  MutexLock lock(stragglers_mu_);
   for (auto& t : stragglers_) {
     if (t.joinable()) t.join();
   }
@@ -250,10 +250,10 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
     slot.status = status;
     slot.done.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(ctx->mu);
+      MutexLock lock(ctx->mu);
       ++ctx->completed;
     }
-    ctx->cv.notify_one();
+    ctx->cv.NotifyOne();
   };
 
   // Dispatch: skip breaker-tripped shards, pick the replica up front (the
@@ -302,22 +302,26 @@ Status ShardedCollection::Knn(VectorView query, std::size_t k,
   // deadline are abandoned to the straggler list and their shards count
   // as failed.
   if (threaded && dispatched > 0) {
-    std::unique_lock<std::mutex> lock(ctx->mu);
-    auto all_done = [&] { return ctx->completed == dispatched; };
+    // Explicit wait loops (not predicate lambdas): TSA analyzes a
+    // lambda as a separate function, so the guarded `completed` read
+    // must happen in this annotated scope.
+    MutexLock lock(ctx->mu);
     if (opts_.shard_deadline_ms > 0) {
-      ctx->cv.wait_until(lock,
-                         std::chrono::steady_clock::now() +
-                             std::chrono::milliseconds(opts_.shard_deadline_ms),
-                         all_done);
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(opts_.shard_deadline_ms);
+      while (ctx->completed != dispatched) {
+        if (!ctx->cv.WaitUntil(ctx->mu, deadline)) break;  // timed out
+      }
     } else {
-      ctx->cv.wait(lock, all_done);
+      while (ctx->completed != dispatched) ctx->cv.Wait(ctx->mu);
     }
   }
   for (auto& [worker, t] : workers) {
     if (ctx->slots[t].done.load(std::memory_order_acquire)) {
       worker.join();
     } else {
-      std::lock_guard<std::mutex> lock(stragglers_mu_);
+      MutexLock lock(stragglers_mu_);
       stragglers_.push_back(std::move(worker));
     }
   }

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "db/collection.h"
 
 namespace vdb {
@@ -144,8 +144,9 @@ class ShardedCollection {
   /// Worker threads abandoned at a deadline. They only touch their own
   /// (heap-shared) result slot and the shard collections, so they are
   /// left to finish in the background and joined in the destructor.
-  mutable std::mutex stragglers_mu_;
-  mutable std::vector<std::thread> stragglers_;
+  mutable Mutex stragglers_mu_;  ///< §9.1 leaf
+  mutable std::vector<std::thread> stragglers_
+      VDB_GUARDED_BY(stragglers_mu_);
 };
 
 }  // namespace vdb

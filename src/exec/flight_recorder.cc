@@ -70,11 +70,15 @@ bool FlightRecorder::Worse(const FlightRecord& a, const FlightRecord& b) {
 }
 
 std::uint64_t FlightRecorder::NoteCompletion(bool failed, double total_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++completions_;
   // Age out first so board-worthiness is judged against a fresh board.
-  std::erase_if(entries_, [&](const FlightRecord& e) {
-    return completions_ - e.seq > stale_horizon_;
+  // The guarded reads are hoisted out of the predicate: TSA analyzes a
+  // lambda as a separate function with no view of this hold.
+  const std::uint64_t stale_before =
+      completions_ > stale_horizon_ ? completions_ - stale_horizon_ : 0;
+  std::erase_if(entries_, [stale_before](const FlightRecord& e) {
+    return e.seq < stale_before;
   });
   OccupancyGauge().Set(static_cast<std::int64_t>(entries_.size()));
   if (entries_.size() < capacity_) return completions_;
@@ -93,9 +97,11 @@ void FlightRecorder::Record(FlightRecord record) {
     record.query.resize(kMaxQueryBytes);
     record.query += "...";
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  std::erase_if(entries_, [&](const FlightRecord& e) {
-    return completions_ - e.seq > stale_horizon_;
+  MutexLock lock(mu_);
+  const std::uint64_t stale_before =
+      completions_ > stale_horizon_ ? completions_ - stale_horizon_ : 0;
+  std::erase_if(entries_, [stale_before](const FlightRecord& e) {
+    return e.seq < stale_before;
   });
   if (entries_.size() >= capacity_) {
     // Replace the least-bad entry — re-checked under the lock because
@@ -119,7 +125,7 @@ void FlightRecorder::Record(FlightRecord record) {
 std::vector<FlightRecord> FlightRecorder::WorstFirst() const {
   std::vector<FlightRecord> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out = entries_;
   }
   std::sort(out.begin(), out.end(), [](const FlightRecord& a,
@@ -154,7 +160,7 @@ std::string FlightRecorder::RenderJson() const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   completions_ = 0;
   OccupancyGauge().Set(0);

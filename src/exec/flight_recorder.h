@@ -2,9 +2,10 @@
 #define VDB_EXEC_FLIGHT_RECORDER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace vdb {
 
@@ -81,11 +82,15 @@ class FlightRecorder {
   /// True when a beats b in badness order (failures first, then slower).
   static bool Worse(const FlightRecord& a, const FlightRecord& b);
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::uint64_t stale_horizon_;
-  std::uint64_t completions_ = 0;      ///< total queries seen
-  std::vector<FlightRecord> entries_;  ///< unsorted; sorted on read
+  mutable Mutex mu_;  ///< §9.1 leaf
+  /// Board thresholds: immutable after construction, so the two-phase
+  /// NoteCompletion/Record handoff may read them on either side of the
+  /// lock without a window (regression-tested in windowed_metrics_test).
+  const std::size_t capacity_;
+  const std::uint64_t stale_horizon_;
+  std::uint64_t completions_ VDB_GUARDED_BY(mu_) = 0;  ///< queries seen
+  /// Unsorted; sorted on read.
+  std::vector<FlightRecord> entries_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace vdb

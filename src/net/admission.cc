@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/sync.h"
 #include "core/telemetry.h"
 
 namespace vdb::net {
@@ -18,6 +19,7 @@ struct Metrics {
   Counter& breaker_rejected;
   Counter& rejected_draining;
   Counter& breaker_trips;
+  Counter& tenants_evicted;
   Gauge& queue_depth;
   Gauge& in_flight;
   Gauge& breaker_open;
@@ -31,6 +33,7 @@ struct Metrics {
         reg.GetCounter("vdb_server_breaker_rejected_total"),
         reg.GetCounter("vdb_server_rejected_draining_total"),
         reg.GetCounter("vdb_server_breaker_trips_total"),
+        reg.GetCounter("vdb_server_tenants_evicted_total"),
         reg.GetGauge("vdb_server_queue_depth"),
         reg.GetGauge("vdb_server_in_flight"),
         reg.GetGauge("vdb_server_breaker_open"),
@@ -57,11 +60,12 @@ std::string SanitizeTenantLabel(const std::string& tenant) {
 /// Labeled per-tenant counter with bounded label cardinality: after
 /// kMaxTenantLabels distinct labels, new tenants fold into "other".
 Counter& TenantCounter(const char* base, const std::string& tenant) {
-  static std::mutex mu;
-  static std::set<std::string>* seen = new std::set<std::string>();
+  static Mutex mu;
+  static std::set<std::string>* seen VDB_GUARDED_BY(mu) =
+      new std::set<std::string>();
   std::string label = SanitizeTenantLabel(tenant);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     auto it = seen->find(label);
     if (it == seen->end()) {
       if (seen->size() >= AdmissionController::kMaxTenantLabels) {
@@ -90,12 +94,14 @@ AdmitDecision AdmissionController::TryAdmit(const std::string& tenant,
                                             Clock::time_point now) {
   AdmitDecision decision;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     decision = TryAdmitLocked(tenant, now);
   }
-  // Labeled per-tenant counters outside mu_: GetCounter takes
-  // Registry::mu_ and the lock order is caller -> Registry, never
-  // AdmissionController::mu_ -> Registry::mu_ (DESIGN.md §9).
+  // Labeled per-tenant counters outside mu_: every tenant name is a
+  // map lookup (and possibly a registration) under Registry::mu_, so
+  // it stays off the admission hold. Registry::mu_ is a §9.1 leaf —
+  // the first Metrics::Get() inside TryAdmitLocked may also take it
+  // under mu_, which is the one allowed nesting direction.
   if (decision.verdict == AdmitVerdict::kAdmit) {
     TenantCounter("vdb_server_tenant_admitted_total", tenant).Inc();
   } else {
@@ -108,6 +114,7 @@ AdmitDecision AdmissionController::TryAdmitLocked(const std::string& tenant,
                                                   Clock::time_point now) {
   Metrics& m = Metrics::Get();
   TenantState& state = tenants_[tenant];
+  state.last_seen = now;
   // Count every rejection against the requesting tenant, whatever the
   // cause — "my shed rate" is the number a tenant dashboard needs even
   // when the cause is server-wide (queue, breaker, drain).
@@ -189,7 +196,7 @@ AdmitDecision AdmissionController::TryAdmitLocked(const std::string& tenant,
 
 void AdmissionController::OnStart() {
   Metrics& m = Metrics::Get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (queued_ > 0) --queued_;
   ++executing_;
   m.queue_depth.Set(static_cast<std::int64_t>(queued_));
@@ -199,11 +206,12 @@ void AdmissionController::OnComplete(const std::string& tenant,
                                      bool backend_healthy,
                                      Clock::time_point now) {
   Metrics& m = Metrics::Get();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (executing_ > 0) --executing_;
   auto it = tenants_.find(tenant);
-  if (it != tenants_.end() && it->second.in_flight > 0) {
-    it->second.in_flight -= 1;
+  if (it != tenants_.end()) {
+    if (it->second.in_flight > 0) it->second.in_flight -= 1;
+    it->second.last_seen = now;
   }
   m.in_flight.Set(static_cast<std::int64_t>(queued_ + executing_));
 
@@ -221,23 +229,46 @@ void AdmissionController::OnComplete(const std::string& tenant,
   }
 }
 
+std::size_t AdmissionController::EvictIdleTenants(
+    Clock::time_point now, std::chrono::milliseconds idle_for) {
+  Metrics& m = Metrics::Get();
+  std::size_t evicted = 0;
+  {
+    MutexLock lock(mu_);
+    for (auto it = tenants_.begin(); it != tenants_.end();) {
+      const TenantState& state = it->second;
+      // In-flight work pins the entry: its OnComplete must still find
+      // the in_flight count to decrement. last_seen covers completions
+      // too, so a tenant with slow queries does not look idle.
+      if (state.in_flight == 0 && now - state.last_seen >= idle_for) {
+        it = tenants_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (evicted > 0) m.tenants_evicted.Inc(evicted);
+  return evicted;
+}
+
 void AdmissionController::BeginDrain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   draining_ = true;
 }
 
 bool AdmissionController::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return draining_;
 }
 
 std::size_t AdmissionController::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_ + executing_;
 }
 
 std::size_t AdmissionController::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_;
 }
 
@@ -247,7 +278,7 @@ std::string AdmissionController::MetricLabelFor(const std::string& tenant) {
 
 std::vector<AdmissionController::TenantStats>
 AdmissionController::TenantStatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TenantStats> out;
   out.reserve(tenants_.size());
   for (const auto& [tenant, state] : tenants_) {

@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace vdb::net {
 
@@ -67,7 +68,8 @@ struct AdmitDecision {
 ///
 /// Reports into the global registry: vdb_server_admitted_total,
 /// _throttled_total, _shed_queue_full_total, _breaker_rejected_total,
-/// _rejected_draining_total, _breaker_trips_total counters and the
+/// _rejected_draining_total, _breaker_trips_total,
+/// _tenants_evicted_total counters and the
 /// vdb_server_queue_depth / _in_flight / _breaker_open gauges; plus
 /// per-tenant labeled counters vdb_server_tenant_admitted_total /
 /// vdb_server_tenant_shed_total{tenant="..."} (labels sanitized, capped
@@ -96,6 +98,18 @@ class AdmissionController {
   /// cancellations count as healthy for the breaker.
   void OnComplete(const std::string& tenant, bool backend_healthy,
                   Clock::time_point now);
+
+  /// Evicts tenants with no in-flight work whose last admission
+  /// activity (TryAdmit or OnComplete) is older than `idle_for`;
+  /// returns how many were dropped. The serving event loop calls this
+  /// periodically so a long-lived server's tenant map tracks the
+  /// *active* tenant set instead of growing monotonically. Eviction
+  /// resets the tenant's cumulative admitted/shed counts in
+  /// TenantStatsSnapshot (the labeled lifetime counters in the registry
+  /// are unaffected); a returning tenant re-initializes with a full
+  /// burst, exactly like a first-ever arrival.
+  std::size_t EvictIdleTenants(Clock::time_point now,
+                               std::chrono::milliseconds idle_for);
 
   /// Enters drain: every subsequent TryAdmit returns kDraining.
   void BeginDrain();
@@ -128,6 +142,7 @@ class AdmissionController {
   struct TenantState {
     double tokens = 0.0;
     Clock::time_point last_refill{};
+    Clock::time_point last_seen{};  ///< last TryAdmit/OnComplete touch
     bool initialized = false;
     std::uint32_t in_flight = 0;
     std::uint64_t admitted = 0;  ///< cumulative TryAdmit -> kAdmit
@@ -135,21 +150,25 @@ class AdmissionController {
   };
 
   const TenantQuota& QuotaFor(const std::string& tenant) const;
-  /// TryAdmit body; mu_ held. Updates per-tenant cumulative counts but
-  /// not the labeled registry counters (those need Registry::mu_, taken
-  /// by the caller after releasing mu_).
+  /// TryAdmit body; mu_ held (compiler-checked). Updates per-tenant
+  /// cumulative counts but not the labeled registry counters (those are
+  /// bumped by the caller after releasing mu_ to keep the hold short;
+  /// first-call metric registration inside may take leaf Registry::mu_).
   AdmitDecision TryAdmitLocked(const std::string& tenant,
-                               Clock::time_point now);
+                               Clock::time_point now) VDB_REQUIRES(mu_);
 
-  AdmissionOptions opts_;
-  mutable std::mutex mu_;
-  std::map<std::string, TenantState> tenants_;
-  std::size_t queued_ = 0;
-  std::size_t executing_ = 0;
-  bool draining_ = false;
+  const AdmissionOptions opts_;
+  /// §9.1: may be held while registering metrics (leaf Registry::mu_);
+  /// Server::queue_mu_ is held around OnComplete on the drain-abort
+  /// path, so queue_mu_ orders before this mutex.
+  mutable Mutex mu_;
+  std::map<std::string, TenantState> tenants_ VDB_GUARDED_BY(mu_);
+  std::size_t queued_ VDB_GUARDED_BY(mu_) = 0;
+  std::size_t executing_ VDB_GUARDED_BY(mu_) = 0;
+  bool draining_ VDB_GUARDED_BY(mu_) = false;
   // Breaker state: consecutive backend failures and the cooldown edge.
-  std::uint32_t consecutive_failures_ = 0;
-  Clock::time_point breaker_open_until_{};
+  std::uint32_t consecutive_failures_ VDB_GUARDED_BY(mu_) = 0;
+  Clock::time_point breaker_open_until_ VDB_GUARDED_BY(mu_){};
 };
 
 }  // namespace vdb::net

@@ -28,6 +28,11 @@ constexpr std::uint64_t kListenerKey = 0;
 constexpr std::uint64_t kWakeKey = ~std::uint64_t{0};
 
 constexpr int kEpollTickMs = 20;
+/// Event-loop ticks between idle-tenant sweeps and how long a tenant
+/// must be quiet (no admit, no completion, nothing in flight) before
+/// its admission state is dropped.
+constexpr int kEvictEveryTicks = 256;
+constexpr std::chrono::milliseconds kTenantIdleEviction{60000};
 
 std::string ErrnoText(const char* op) {
   return std::string(op) + ": " + std::strerror(errno);
@@ -253,10 +258,10 @@ void Server::HandleQuery(Conn* conn, Request req) {
       req.deadline_ms != 0 ? req.deadline_ms : opts_.default_deadline_ms;
   if (budget_ms != 0) job.deadline = now + std::chrono::milliseconds(budget_ms);
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     job_queue_.push_back(std::move(job));
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void Server::HandleFrame(Conn* conn, std::span<const std::uint8_t> payload) {
@@ -320,7 +325,7 @@ void Server::FlushResponses() {
       Registry::Global().GetCounter("vdb_server_orphaned_responses_total");
   std::deque<PendingResponse> batch;
   {
-    std::lock_guard<std::mutex> lock(resp_mu_);
+    MutexLock lock(resp_mu_);
     batch.swap(resp_queue_);
   }
   for (PendingResponse& pending : batch) {
@@ -425,7 +430,7 @@ std::string Server::BuildStatsJson() const {
 bool Server::DrainComplete() {
   if (admission_.InFlight() != 0) return false;
   {
-    std::lock_guard<std::mutex> lock(resp_mu_);
+    MutexLock lock(resp_mu_);
     if (!resp_queue_.empty()) return false;
   }
   for (const auto& [id, conn] : conns_) {
@@ -439,6 +444,7 @@ void Server::EventLoop() {
       Registry::Global().GetHistogram("vdb_server_drain_seconds");
   bool drain_started = false;
   std::chrono::steady_clock::time_point drain_start{};
+  int evict_tick = 0;
   epoll_event events[64];
 
   for (;;) {
@@ -449,6 +455,31 @@ void Server::EventLoop() {
     // kEpollTickMs, far inside the 1s window width, so boundaries are
     // recorded promptly even on an idle server.
     WindowedRegistry::Global().Tick();
+
+    // Tenant-map hygiene: every ~256 ticks (~5s at the 20ms tick) drop
+    // tenants idle past a minute so the admission map and the stats
+    // frame track the live tenant set (stress-tested against
+    // concurrent admits in concurrency_stress_test.cc).
+    if (++evict_tick >= kEvictEveryTicks) {
+      evict_tick = 0;
+      (void)admission_.EvictIdleTenants(std::chrono::steady_clock::now(),
+                                        kTenantIdleEviction);
+    }
+
+    // Start the drain BEFORE handling this batch's events: the wake
+    // from RequestDrain() can share an epoll batch with a readable
+    // query frame, and a request sent after RequestDrain() returned
+    // must see kDraining, not ride in under the old admission state.
+    if (drain_requested_.load(std::memory_order_acquire) && !drain_started) {
+      // Drain step 1: stop accepting (close the listener so the port
+      // frees immediately) and reject new work at admission.
+      drain_started = true;
+      drain_start = std::chrono::steady_clock::now();
+      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      admission_.BeginDrain();
+    }
 
     for (int i = 0; i < std::max(n, 0); ++i) {
       std::uint64_t key = events[i].data.u64;
@@ -509,17 +540,6 @@ void Server::EventLoop() {
       (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
     }
 
-    if (drain_requested_.load(std::memory_order_acquire) && !drain_started) {
-      // Drain step 1: stop accepting (close the listener so the port
-      // frees immediately) and reject new work at admission.
-      drain_started = true;
-      drain_start = std::chrono::steady_clock::now();
-      (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      admission_.BeginDrain();
-    }
-
     if (!drain_started) continue;
 
     auto now = std::chrono::steady_clock::now();
@@ -535,7 +555,7 @@ void Server::EventLoop() {
       // query they are executing; joins below bound that).
       std::size_t aborted = 0;
       {
-        std::lock_guard<std::mutex> lock(queue_mu_);
+        MutexLock lock(queue_mu_);
         aborted = job_queue_.size();
         for (const Job& job : job_queue_) {
           admission_.OnComplete(job.tenant, true, now);
@@ -571,9 +591,11 @@ void Server::WorkerLoop(std::size_t worker_index) {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [&] { return stop_workers_ || !job_queue_.empty(); });
+      // Explicit wait loop (not a predicate lambda): TSA analyzes a
+      // lambda as a separate function, so the guarded reads must sit
+      // in this annotated scope.
+      MutexLock lock(queue_mu_);
+      while (!stop_workers_ && job_queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (job_queue_.empty()) {
         if (stop_workers_) return;
         continue;
@@ -652,7 +674,7 @@ void Server::WorkerLoop(std::size_t worker_index) {
     executing_.fetch_sub(1, std::memory_order_acq_rel);
     admission_.OnComplete(job.tenant, healthy, end);
     {
-      std::lock_guard<std::mutex> lock(resp_mu_);
+      MutexLock lock(resp_mu_);
       resp_queue_.push_back(PendingResponse{job.conn_id, std::move(resp)});
     }
     PokeLoop();
@@ -660,15 +682,15 @@ void Server::WorkerLoop(std::size_t worker_index) {
 }
 
 DrainReport Server::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (shutdown_done_) return report_;
   RequestDrain();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> qlock(queue_mu_);
+    MutexLock qlock(queue_mu_);
     stop_workers_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }

@@ -3,16 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "db/database.h"
 #include "net/admission.h"
 #include "net/conn.h"
@@ -137,25 +136,32 @@ class Server {
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
 
-  // Event-loop-owned (no lock): id -> connection.
+  // Event-loop-owned (no lock, and deliberately no capability: only
+  // EventLoop and the helpers it calls inline touch these): id ->
+  // connection map and the id allocator.
   std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
   std::uint64_t next_conn_id_ = 1;
 
-  // Run queue (event loop -> workers).
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> job_queue_;
-  bool stop_workers_ = false;
+  // Run queue (event loop -> workers). §9.1 edges: the drain-abort
+  // path calls admission_.OnComplete while holding queue_mu_, and
+  // Shutdown acquires shutdown_mu_ first — so
+  // shutdown_mu_ -> queue_mu_ -> AdmissionController::mu_.
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Job> job_queue_ VDB_GUARDED_BY(queue_mu_);
+  bool stop_workers_ VDB_GUARDED_BY(queue_mu_) = false;
 
-  // Response queue (workers -> event loop).
-  std::mutex resp_mu_;
-  std::deque<PendingResponse> resp_queue_;
+  // Response queue (workers -> event loop). §9.1 leaf.
+  Mutex resp_mu_;
+  std::deque<PendingResponse> resp_queue_ VDB_GUARDED_BY(resp_mu_);
 
   std::atomic<bool> drain_requested_{false};
   std::atomic<std::size_t> executing_{0};
 
-  std::mutex shutdown_mu_;
-  bool shutdown_done_ = false;
+  Mutex shutdown_mu_ VDB_ACQUIRED_BEFORE(queue_mu_);
+  bool shutdown_done_ VDB_GUARDED_BY(shutdown_mu_) = false;
+  /// Written by the event loop during drain, read by Shutdown strictly
+  /// after joining loop_thread_ — the join is the ordering, not a lock.
   DrainReport report_;
 };
 

@@ -125,7 +125,7 @@ Status PagedFile::ReadRunLocked(std::uint64_t first_page, std::size_t npages,
 }
 
 Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (page_id >= num_pages_) {
     return Status::OutOfRange("page beyond end of file");
   }
@@ -141,7 +141,7 @@ Status PagedFile::ReadPage(std::uint64_t page_id, std::uint8_t* buf) {
 Status PagedFile::ReadPages(std::span<const std::uint64_t> page_ids,
                             std::uint8_t* out) {
   if (page_ids.empty()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::uint64_t id : page_ids) {
     if (id >= num_pages_) {
       return Status::OutOfRange("page beyond end of file");
@@ -205,7 +205,7 @@ Status PagedFile::ReadPages(std::span<const std::uint64_t> page_ids,
 }
 
 Status PagedFile::WritePage(std::uint64_t page_id, const std::uint8_t* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return WritePageLocked(page_id, buf);
 }
 
@@ -235,7 +235,7 @@ Status PagedFile::Sync() {
 }
 
 Result<std::uint64_t> PagedFile::AppendPage(const std::uint8_t* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t page_id = num_pages_;
   VDB_RETURN_IF_ERROR(WritePageLocked(page_id, buf));
   return page_id;

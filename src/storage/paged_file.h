@@ -4,13 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/status.h"
+#include "core/sync.h"
 
 namespace vdb {
 
@@ -72,34 +72,34 @@ class PagedFile {
 
   std::size_t page_size() const { return opts_.page_size; }
   std::uint64_t num_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return num_pages_;
   }
 
   /// Physical page reads (cache misses).
   std::uint64_t reads() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return reads_;
   }
   std::uint64_t writes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return writes_;
   }
   std::uint64_t cache_hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return cache_hits_;
   }
   /// ReadPages invocations / coalesced-run syscalls they issued.
   std::uint64_t batch_reads() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return batch_reads_;
   }
   std::uint64_t batch_syscalls() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return batch_syscalls_;
   }
   void ResetCounters() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     reads_ = 0;
     writes_ = 0;
     cache_hits_ = 0;
@@ -110,7 +110,7 @@ class PagedFile {
   /// Failure injection: the next physical read after `count` more reads
   /// fails with IoError. Negative disables.
   void InjectReadFaultAfter(std::int64_t count) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fault_after_ = count;
   }
 
@@ -121,38 +121,44 @@ class PagedFile {
   static Result<std::unique_ptr<PagedFile>> OpenImpl(
       const std::string& path, const PagedFileOptions& opts, bool truncate);
 
-  /// Callers hold mu_.
-  bool CacheLookup(std::uint64_t page_id, std::uint8_t* buf);
-  void CacheInsert(std::uint64_t page_id, const std::uint8_t* buf);
-  Status WritePageLocked(std::uint64_t page_id, const std::uint8_t* buf);
+  /// Callers hold mu_ (compiler-checked).
+  bool CacheLookup(std::uint64_t page_id, std::uint8_t* buf)
+      VDB_REQUIRES(mu_);
+  void CacheInsert(std::uint64_t page_id, const std::uint8_t* buf)
+      VDB_REQUIRES(mu_);
+  Status WritePageLocked(std::uint64_t page_id, const std::uint8_t* buf)
+      VDB_REQUIRES(mu_);
   /// The single physical-read path (ReadPage and every coalesced
   /// ReadPages run go through here): fault injection, read failpoints,
   /// one positioned read of `npages` consecutive pages, read accounting,
   /// per-page corruption injection, and cache fill.
   Status ReadRunLocked(std::uint64_t first_page, std::size_t npages,
-                       std::uint8_t* buf);
+                       std::uint8_t* buf) VDB_REQUIRES(mu_);
 
-  int fd_;
-  PagedFileOptions opts_;
+  const int fd_;  ///< const after construction; positioned I/O only
+  const PagedFileOptions opts_;
 
   /// Guards every member below (LRU cache, counters, page count): the
   /// read path mutates the cache, so "read-only" users still need it.
-  mutable std::mutex mu_;
-  std::uint64_t num_pages_ = 0;
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t batch_reads_ = 0;
-  std::uint64_t batch_syscalls_ = 0;
-  std::int64_t fault_after_ = -1;
+  /// §9.1 leaf: never held while acquiring another lock (failpoint
+  /// evaluation inside ReadRunLocked takes Failpoints::mu only on its
+  /// own — see failpoint.cc — after this file's state is consistent).
+  mutable Mutex mu_;
+  std::uint64_t num_pages_ VDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t reads_ VDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t writes_ VDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_hits_ VDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t batch_reads_ VDB_GUARDED_BY(mu_) = 0;
+  std::uint64_t batch_syscalls_ VDB_GUARDED_BY(mu_) = 0;
+  std::int64_t fault_after_ VDB_GUARDED_BY(mu_) = -1;
 
   /// LRU cache: most-recent at front.
-  std::list<std::uint64_t> lru_;
+  std::list<std::uint64_t> lru_ VDB_GUARDED_BY(mu_);
   struct CacheEntry {
     std::list<std::uint64_t>::iterator lru_it;
     std::vector<std::uint8_t> data;
   };
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_ VDB_GUARDED_BY(mu_);
 };
 
 }  // namespace vdb

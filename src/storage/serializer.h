@@ -181,6 +181,7 @@ class BinaryReader {
  private:
   Status Take(void* out, std::size_t n) {
     if (at_ + n > end_) return Status::Corruption("unexpected end of file");
+    if (n == 0) return Status::Ok();  // empty payloads hand us data()==null
     std::memcpy(out, bytes_.data() + at_, n);
     at_ += n;
     return Status::Ok();

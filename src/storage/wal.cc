@@ -54,6 +54,7 @@ class Reader {
   bool U64(std::uint64_t* v) { return Fixed(v, 8); }
   bool Bytes(void* out, std::size_t n) {
     if (at_ + n > len_) return false;
+    if (n == 0) return true;  // empty payloads hand us data()==null
     std::memcpy(out, data_ + at_, n);
     at_ += n;
     return true;

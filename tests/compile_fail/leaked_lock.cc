@@ -1,0 +1,28 @@
+// EXPECT: still held at the end of function
+//
+// An early return that skips the unlock — the leaked-lock shape
+// (every later caller deadlocks). The scoped wrappers make this
+// impossible; this case proves the analysis also catches it when
+// someone bypasses them with manual Lock/Unlock.
+#include "core/sync.h"
+
+class Queue {
+ public:
+  // BUG: returns while mu_ is still held on the empty path.
+  bool PopIfAny() {
+    mu_.Lock();
+    if (size_ == 0) return false;  // leaks the hold
+    --size_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  vdb::Mutex mu_;
+  long size_ VDB_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Queue q;
+  return q.PopIfAny() ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+// EXPECT: must be acquired after
+//
+// Taking two mutexes against their declared VDB_ACQUIRED_BEFORE edge —
+// the deadlock shape DESIGN §9.1's lock-order table exists to prevent
+// (e.g. Registry::mu_ before WindowedRegistry::mu_). Rejected under
+// -Wthread-safety-beta, which checks the acquired_before/after edges.
+#include "core/sync.h"
+
+class Plane {
+ public:
+  void Ordered() {  // the documented order: outer_ then inner_
+    vdb::MutexLock a(outer_);
+    vdb::MutexLock b(inner_);
+  }
+  // BUG: acquires inner_ first, then outer_.
+  void Inverted() {
+    vdb::MutexLock b(inner_);
+    vdb::MutexLock a(outer_);
+  }
+
+ private:
+  vdb::Mutex inner_;
+  vdb::Mutex outer_ VDB_ACQUIRED_BEFORE(inner_);
+};
+
+int main() {
+  Plane p;
+  p.Ordered();
+  p.Inverted();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// EXPECT: calling function 'EvictLocked' requires holding mutex 'mu_' exclusively
+//
+// Calling a "caller holds the lock" private method (VDB_REQUIRES)
+// without holding it — the broken-internal-contract shape (paged_file's
+// *Locked helpers, admission's TryAdmitLocked). Must be rejected.
+#include "core/sync.h"
+
+class Cache {
+ public:
+  // BUG: EvictLocked demands mu_, which Evict never takes.
+  void Evict() { EvictLocked(); }
+
+ private:
+  void EvictLocked() VDB_REQUIRES(mu_) { ++evictions_; }
+
+  vdb::Mutex mu_;
+  long evictions_ VDB_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Cache c;
+  c.Evict();
+  return 0;
+}

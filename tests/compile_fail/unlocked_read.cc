@@ -1,0 +1,26 @@
+// EXPECT: requires holding mutex 'mu_'
+//
+// Reading a VDB_GUARDED_BY field without the guarding mutex — the
+// canonical bug the VDBMS bug-study calls out (stats reads racing
+// writers). Must be rejected by -Wthread-safety.
+#include "core/sync.h"
+
+class Stats {
+ public:
+  void Inc() {
+    vdb::MutexLock lock(mu_);
+    ++count_;
+  }
+  // BUG: unlocked read of count_.
+  long Read() const { return count_; }
+
+ private:
+  mutable vdb::Mutex mu_;
+  long count_ VDB_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Stats s;
+  s.Inc();
+  return static_cast<int>(s.Read());
+}

@@ -1,0 +1,21 @@
+// EXPECT: writing variable 'draining_' requires holding mutex 'mu_' exclusively
+//
+// Writing a guarded flag without any hold — the unlocked-mutation shape
+// (e.g. flipping a drain flag off-thread). Must be rejected.
+#include "core/sync.h"
+
+class Controller {
+ public:
+  // BUG: unlocked write of draining_.
+  void BeginDrain() { draining_ = true; }
+
+ private:
+  vdb::Mutex mu_;
+  bool draining_ VDB_GUARDED_BY(mu_) = false;
+};
+
+int main() {
+  Controller c;
+  c.BeginDrain();
+  return 0;
+}

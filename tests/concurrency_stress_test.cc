@@ -12,6 +12,7 @@
 // local soaks.
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -29,6 +30,7 @@
 #include "db/distributed.h"
 #include "index/diskann.h"
 #include "index/hnsw.h"
+#include "net/admission.h"
 #include "storage/paged_file.h"
 
 namespace vdb {
@@ -607,6 +609,69 @@ TEST(ConcurrencyStressTest, FailpointArmFireChurn) {
   (void)fps.Disarm("stress.fp.indexed");
   (void)fps.Disarm("stress.fp.delay");
   EXPECT_FALSE(FailpointFires("stress.fp.a"));
+}
+
+// ------------------------------------------------- admission controller
+
+// Tenant-map churn: workers admit/complete across a rotating tenant set
+// while an evictor drops idle tenants out from under them and readers
+// walk TenantStatsSnapshot — the create/evict/re-create lifecycle the
+// serving event loop runs against live admission traffic. The net
+// suites drive steady tenant sets only; this is the map-shape churn.
+TEST(ConcurrencyStressTest, AdmissionTenantMapChurn) {
+  net::AdmissionOptions opts;
+  opts.default_quota.tokens_per_sec = 1e6;  // rate never the limiter here
+  opts.default_quota.burst = 1e6;
+  opts.default_quota.max_in_flight = 8;
+  opts.max_queue_depth = 1 << 20;
+  opts.breaker_threshold = 0;
+  net::AdmissionController ac(opts);
+  using Clock = net::AdmissionController::Clock;
+  const auto t0 = Clock::now();
+  const std::size_t kOps = 200 * StressScale();
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> evicted{0};
+
+  RunThreads(8, [&](std::size_t t) {
+    if (t < 5) {  // admitting workers over a rotating tenant-name set
+      for (std::size_t i = 0; i < kOps; ++i) {
+        std::string tenant = "churn-" + std::to_string((i * 3 + t) % 16);
+        auto now = t0 + std::chrono::microseconds(i);
+        if (ac.TryAdmit(tenant, now).verdict == net::AdmitVerdict::kAdmit) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          ac.OnStart();
+          ac.OnComplete(tenant, true, now);
+        }
+      }
+    } else if (t < 7) {  // evictors: idle_for=0 drops any quiescent tenant
+      for (std::size_t i = 0; i < kOps / 4; ++i) {
+        evicted.fetch_add(
+            ac.EvictIdleTenants(t0 + std::chrono::seconds(1),
+                                std::chrono::milliseconds(0)),
+            std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    } else {  // stats readers
+      for (std::size_t i = 0; i < kOps / 4; ++i) {
+        for (const auto& ts : ac.TenantStatsSnapshot()) {
+          // in_flight never exceeds the quota, evictions notwithstanding.
+          EXPECT_LE(ts.in_flight, opts.default_quota.max_in_flight);
+        }
+        (void)ac.InFlight();
+        (void)ac.QueueDepth();
+      }
+    }
+  });
+
+  // Every admit was completed, so accounting must balance whatever the
+  // eviction interleaving was: nothing in flight, nothing queued.
+  EXPECT_EQ(ac.InFlight(), 0u);
+  EXPECT_EQ(ac.QueueDepth(), 0u);
+  EXPECT_GT(admitted.load(), 0u);
+  // A final sweep empties the map: no tenant has in-flight work left.
+  (void)ac.EvictIdleTenants(t0 + std::chrono::seconds(2),
+                            std::chrono::milliseconds(0));
+  EXPECT_TRUE(ac.TenantStatsSnapshot().empty());
 }
 
 }  // namespace

@@ -382,6 +382,58 @@ TEST(AdmissionTest, DrainRejectsEverything) {
   EXPECT_EQ(d.retry_after_ms, 0u);
 }
 
+TEST(AdmissionTest, EvictIdleTenantsDropsOnlyQuiescent) {
+  AdmissionController ac(SmallQuota());
+  auto t0 = Clock::now();
+  // "idle" completes immediately; "busy" keeps one request in flight.
+  ASSERT_EQ(ac.TryAdmit("idle", t0).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+  ac.OnComplete("idle", true, t0);
+  ASSERT_EQ(ac.TryAdmit("busy", t0).verdict, AdmitVerdict::kAdmit);
+  ac.OnStart();
+
+  // Not idle long enough: nobody is evicted.
+  EXPECT_EQ(ac.EvictIdleTenants(t0 + std::chrono::seconds(30),
+                                std::chrono::minutes(1)),
+            0u);
+  // Past the horizon: "idle" goes; "busy" is pinned by in-flight work
+  // however stale its last_seen is.
+  EXPECT_EQ(ac.EvictIdleTenants(t0 + std::chrono::minutes(2),
+                                std::chrono::minutes(1)),
+            1u);
+  auto stats = ac.TenantStatsSnapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].tenant, "busy");
+  EXPECT_EQ(stats[0].in_flight, 1u);
+
+  // The pinned tenant's completion must still balance the accounting.
+  ac.OnComplete("busy", true, t0 + std::chrono::minutes(2));
+  EXPECT_EQ(ac.InFlight(), 0u);
+}
+
+TEST(AdmissionTest, EvictedTenantReturnsWithFreshBurst) {
+  AdmissionController ac(SmallQuota());  // burst=2
+  auto t0 = Clock::now();
+  // Drain the bucket, then go idle and get evicted.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kAdmit);
+    ac.OnStart();
+    ac.OnComplete("t", true, t0);
+  }
+  ASSERT_EQ(ac.TryAdmit("t", t0).verdict, AdmitVerdict::kThrottled);
+  ASSERT_EQ(ac.EvictIdleTenants(t0 + std::chrono::minutes(2),
+                                std::chrono::minutes(1)),
+            1u);
+  // Re-arrival is indistinguishable from a first-ever arrival: full
+  // burst again, cumulative snapshot counts restarted.
+  EXPECT_EQ(ac.TryAdmit("t", t0 + std::chrono::minutes(2)).verdict,
+            AdmitVerdict::kAdmit);
+  auto stats = ac.TenantStatsSnapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].admitted, 1u);
+  EXPECT_EQ(stats[0].shed, 0u);
+}
+
 // ----------------------------------------------------------- end-to-end
 
 std::size_t OpenFdCount() {

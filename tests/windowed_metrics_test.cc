@@ -379,5 +379,53 @@ TEST(FlightRecorderTest, RenderJsonEscapesAndOrdersWorstFirst) {
   EXPECT_EQ(fr.RenderJson(), "[]");
 }
 
+// Regression for the two-phase handoff audit (the board thresholds —
+// capacity and stale horizon — are read on both sides of the lock):
+// they are `const` members set once at construction, so there is no
+// re-read window to close; what *can* go stale between NoteCompletion
+// and Record is the board itself, and Record must re-judge under the
+// lock. A candidate admitted against an old board is dropped when the
+// board improved past it in the meantime.
+TEST(FlightRecorderTest, RecordRejudgesStaleAdmissionUnderTheLock) {
+  FlightRecorder fr(/*capacity=*/1, /*stale_horizon=*/1000);
+  // Phase 1 for a 10ms query: board empty, admitted.
+  std::uint64_t slow_seq = fr.NoteCompletion(false, 10.0);
+  ASSERT_NE(slow_seq, 0u);
+  // Before its Record lands, a 50ms query takes the only slot.
+  std::uint64_t worse_seq = fr.NoteCompletion(false, 50.0);
+  ASSERT_NE(worse_seq, 0u);
+  fr.Record(MakeRecord(worse_seq, 50.0, false));
+  // Phase 2 of the stale admission: 10ms no longer beats the board.
+  fr.Record(MakeRecord(slow_seq, 10.0, false));
+  auto worst = fr.WorstFirst();
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_DOUBLE_EQ(worst[0].total_ms, 50.0);
+}
+
+// The capacity threshold holds under concurrent two-phase handoffs:
+// however the NoteCompletion/Record pairs interleave, the board never
+// exceeds capacity and every retained entry came through phase 1.
+TEST(FlightRecorderTest, BoardNeverExceedsCapacityUnderConcurrentHandoffs) {
+  constexpr std::size_t kCapacity = 3;
+  FlightRecorder fr(kCapacity, /*stale_horizon=*/10000);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fr, t, kCapacity] {
+      for (int i = 0; i < 200; ++i) {
+        double ms = double((i * 13 + t * 7) % 97);
+        std::uint64_t seq = fr.NoteCompletion(false, ms);
+        if (seq != 0) fr.Record(MakeRecord(seq, ms, false));
+        if (i % 16 == 0) {
+          EXPECT_LE(fr.WorstFirst().size(), kCapacity);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto worst = fr.WorstFirst();
+  EXPECT_LE(worst.size(), kCapacity);
+  for (const auto& r : worst) EXPECT_NE(r.seq, 0u);
+}
+
 }  // namespace
 }  // namespace vdb

@@ -34,6 +34,16 @@ pass --root):
      (`__builtin_prefetch`) is allowed only in src/core/simd.h and
      src/index/graph_util.h — every other layer prefetches through the
      simd::Prefetch* helpers.
+  8. Sync-primitive confinement, both directions: raw std
+     synchronization types (`std::mutex`, `std::shared_mutex`,
+     `std::lock_guard`, `std::unique_lock`, `std::scoped_lock`,
+     `std::shared_lock`, `std::condition_variable`...) appear only in
+     src/core/sync.h — everything else uses the annotated vdb::Mutex /
+     MutexLock / ... wrappers so Clang Thread Safety Analysis sees
+     every acquisition; and raw `__attribute__` thread-safety spellings
+     (`guarded_by`, `capability`, ...) also live only in core/sync.h —
+     annotations go through the VDB_* macros, which no-op on non-Clang
+     compilers.
 
 Exit status 0 when clean; 1 with one "file:line: message" per violation
 otherwise. Run by the `lint` CI job and locally via
@@ -82,6 +92,20 @@ PREFETCH_ALLOWED = ("src/core/simd.h", "src/index/graph_util.h")
 # Subsystem prefix ownership (invariant 5): name prefix <-> source dir.
 FAILPOINT_OWNERS = {"net.": "src/net/"}
 METRIC_OWNERS = {"vdb_server_": "src/net/"}
+
+# Invariant 8: the one header allowed to spell raw std sync primitives
+# and raw thread-safety attributes.
+SYNC_IMPL = "src/core/sync.h"
+RAW_SYNC = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock|condition_variable(?:_any)?)\b")
+RAW_TSA_ATTR = re.compile(
+    r"__attribute__\s*\(\(\s*(?:capability|scoped_lockable|lockable|"
+    r"(?:pt_)?guarded_by|(?:acquire|release|try_acquire)_(?:shared_)?"
+    r"capability|requires_(?:shared_)?capability|acquired_(?:before|after)|"
+    r"locks_excluded|lock_returned|assert_capability|"
+    r"no_thread_safety_analysis)\b")
 
 
 def strip_comments(text):
@@ -259,6 +283,27 @@ def check_simd_confinement(root, errors):
                               f"simd::Prefetch* helpers")
 
 
+def check_sync_confinement(root, errors):
+    """Invariant 8, both directions: raw std sync primitives only in
+    core/sync.h (everything else holds locks the analysis can see);
+    raw thread-safety attribute spellings only in core/sync.h
+    (annotations go through the VDB_* macros)."""
+    for path in source_files(root):
+        rel = path.relative_to(root).as_posix()
+        if rel == SYNC_IMPL:
+            continue
+        text = strip_comments(path.read_text())
+        for m in RAW_SYNC.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            errors.append(f"{rel}:{line}: raw '{m.group(0)}' outside "
+                          f"{SYNC_IMPL} — use the annotated vdb:: sync "
+                          f"wrappers")
+        for m in RAW_TSA_ATTR.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            errors.append(f"{rel}:{line}: raw thread-safety attribute "
+                          f"outside {SYNC_IMPL} — use the VDB_* macros")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", type=Path,
@@ -272,6 +317,7 @@ def main():
     check_metric_docs(args.root, metrics, errors)
     check_raw_io(args.root, errors)
     check_simd_confinement(args.root, errors)
+    check_sync_confinement(args.root, errors)
 
     if errors:
         for e in errors:
